@@ -1,0 +1,1 @@
+bin/crash_stress.ml: Arg Array Cmd Cmdliner Filename Int64 List Mnemosyne Mtm Printf Random Sys Term

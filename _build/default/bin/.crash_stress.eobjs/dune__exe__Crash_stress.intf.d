@@ -1,0 +1,1 @@
+bin/crash_stress.mli:

@@ -1,0 +1,1 @@
+bin/regionctl.ml: Arg Cmd Cmdliner List Mnemosyne Printf Region Scm Sys Term

@@ -1,0 +1,98 @@
+(* regionctl: inspect a Mnemosyne instance directory.
+
+   Shows what the recovery path sees: the region manager's boot
+   statistics, every persistent region with its backing file, the
+   pstatic directory, heap occupancy and per-thread transaction logs.
+
+   Usage: regionctl DIR
+*)
+
+open Cmdliner
+
+let run dir level =
+  if not (Sys.file_exists dir) then begin
+    Printf.eprintf "regionctl: no instance at %s\n" dir;
+    1
+  end
+  else begin
+    let inst = Mnemosyne.open_instance ~dir () in
+    let stats = Mnemosyne.reincarnation_stats inst in
+    let pmem = Mnemosyne.pmem inst in
+    let mgr = Region.Pmem.manager pmem in
+    let v = Mnemosyne.view inst in
+    Printf.printf "Mnemosyne instance: %s\n\n" dir;
+
+    let boot = Region.Manager.boot_stats mgr in
+    Printf.printf "boot:   %d frames scanned, %d mappings rebuilt (%.1f ms)\n"
+      boot.frames_scanned boot.mappings_rebuilt
+      (float_of_int boot.boot_ns /. 1e6);
+    Printf.printf
+      "        %d frames free, %d resident; %d swap-ins, %d swap-outs\n"
+      (Region.Manager.free_frames mgr)
+      (Region.Manager.resident_frames mgr)
+      (Region.Manager.swaps_in mgr) (Region.Manager.swaps_out mgr);
+    Printf.printf
+      "start:  remap %.2f ms, heap scavenge %.2f ms, %d txn(s) replayed\n\n"
+      (float_of_int stats.remap_ns /. 1e6)
+      (float_of_int stats.heap_scavenge_ns /. 1e6)
+      stats.txns_replayed;
+
+    Printf.printf "regions (excluding the static region):\n";
+    let regions = Region.Pmem.regions pmem in
+    if regions = [] then Printf.printf "  (none)\n"
+    else
+      List.iter
+        (fun (addr, len) ->
+          Printf.printf "  %#014x  %8d bytes  (%d pages)\n" addr len
+            (Region.Layout.pages_for len))
+        regions;
+
+    Printf.printf "\npstatic variables:\n";
+    let count = ref 0 in
+    Region.Pstatic.iter v (fun name ~addr ~len ->
+        incr count;
+        let value = Region.Pmem.load v addr in
+        Printf.printf "  %-24s %#014x  %4d bytes  first word %#Lx\n" name
+          addr len value);
+    if !count = 0 then Printf.printf "  (none)\n";
+
+    Printf.printf "\nSCM device: %d frames, %d total media writes\n"
+      (Scm.Scm_device.nframes (Mnemosyne.machine inst).dev)
+      (Scm.Scm_device.total_writes (Mnemosyne.machine inst).dev);
+    let dev = (Mnemosyne.machine inst).dev in
+    let hottest = ref (0, 0) in
+    for f = 0 to Scm.Scm_device.nframes dev - 1 do
+      let w = Scm.Scm_device.write_count dev f in
+      if w > snd !hottest then hottest := (f, w)
+    done;
+    let hot_frame, hot_writes = !hottest in
+    Printf.printf
+      "wear:   hottest frame %d with %d writes%s\n"
+      hot_frame hot_writes
+      (if level then "" else " (run with --level to remap hot frames)");
+    if level then begin
+      let moved = Region.Pmem.wear_level v ~threshold:1.5 in
+      Printf.printf "wear:   leveling pass migrated %d page(s)\n" moved
+    end;
+    Mnemosyne.close inst;
+    0
+  end
+
+let dir =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Instance directory.")
+
+let level =
+  Arg.(
+    value & flag
+    & info [ "level" ]
+        ~doc:"Run a wear-leveling pass over hot frames before closing.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "regionctl" ~doc:"Inspect a Mnemosyne instance")
+    Term.(const run $ dir $ level)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/autosave.ml: Array Baseline Filename Int64 Mnemosyne Printf Pstruct Region Scm Sys Workload

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Array Filename Int64 Mnemosyne Mtm Printf Random Sys

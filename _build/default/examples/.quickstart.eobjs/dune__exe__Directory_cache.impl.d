@@ -1,0 +1,1 @@
+examples/directory_cache.ml: Apps Array Bytes Filename Int64 Mnemosyne Printf Region Sys Workload

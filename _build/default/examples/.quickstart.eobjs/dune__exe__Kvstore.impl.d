@@ -1,0 +1,1 @@
+examples/kvstore.ml: Apps Array Baseline Bytes Filename Int64 List Mnemosyne Mtm Printf Pstruct Region Scm Sys Workload

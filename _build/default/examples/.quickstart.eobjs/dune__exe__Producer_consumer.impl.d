@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Array Filename Int64 List Mnemosyne Printf Sys

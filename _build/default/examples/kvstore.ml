@@ -1,0 +1,92 @@
+(* kvstore: the Tokyo Cabinet scenario of paper section 6.2.
+
+   A key/value store whose B+ tree lives in persistent memory and is
+   updated with durable transactions - compared side by side with the
+   stock approach, a memory-mapped file msync'd after every update.
+
+   Usage:
+     dune exec examples/kvstore.exe            # demo workload + compare
+     dune exec examples/kvstore.exe -- 1024    # with 1 KiB values
+*)
+
+let () =
+  let value_bytes =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 64
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "mnemosyne-kvstore"
+  in
+  (* fresh state each demo run *)
+  let rec rm_rf p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  rm_rf dir;
+
+  Printf.printf "kvstore: Tokyo-Cabinet-style store, %d-byte values\n\n"
+    value_bytes;
+
+  (* --- Mnemosyne version: B+ tree in persistent memory ------------- *)
+  let inst = Mnemosyne.open_instance ~dir () in
+  let store = Apps.Tc_store.create_mnemosyne inst in
+  let env = (Mnemosyne.view inst).Region.Pmem.env in
+  let w = Apps.Tc_store.worker store 0 env in
+  let kg = Workload.Keygen.create () in
+  let n = 300 in
+  let t0 = env.now () in
+  for k = 0 to n - 1 do
+    Apps.Tc_store.put w (Int64.of_int k) (Workload.Keygen.value kg value_bytes)
+  done;
+  let mnemo_ns = env.now () - t0 in
+  Printf.printf "Mnemosyne durable transactions: %d puts in %.2f ms simulated (%.1f us/op)\n"
+    n
+    (float_of_int mnemo_ns /. 1e6)
+    (float_of_int mnemo_ns /. float_of_int n /. 1e3);
+  (match Apps.Tc_store.get w 42L with
+  | Some v -> Printf.printf "  get 42 -> %d bytes\n" (Bytes.length v)
+  | None -> Printf.printf "  get 42 -> MISSING!\n");
+
+  (* range scan, something the leaf chain makes cheap *)
+  let slot = Mnemosyne.pstatic inst "tc.tree" 8 in
+  let in_range =
+    Mnemosyne.atomically inst (fun tx ->
+        let tree =
+          Pstruct.Bp_tree.attach tx
+            ~root:(Int64.to_int (Mtm.Txn.load tx slot))
+        in
+        List.length (Pstruct.Bp_tree.range tx tree ~lo:100L ~hi:149L))
+  in
+  Printf.printf "  range [100,149] -> %d entries\n" in_range;
+
+  (* crash and recover: nothing committed may be lost *)
+  Printf.printf "\nCrash + reboot...\n";
+  let inst = Mnemosyne.reincarnate inst in
+  let store = Apps.Tc_store.create_mnemosyne inst in
+  let w = Apps.Tc_store.worker store 0 (Mnemosyne.view inst).Region.Pmem.env in
+  Printf.printf "  recovered store holds %d entries (expected %d)\n"
+    (Apps.Tc_store.length w) n;
+
+  (* --- stock version: mmap + msync on PCM-disk --------------------- *)
+  let disk = Baseline.Pcm_disk.create ~nblocks:4096 () in
+  let mstore = Apps.Tc_store.create_msync disk in
+  let machine = Scm.Env.make_machine ~nframes:16 () in
+  let menv = Scm.Env.standalone machine in
+  let mw = Apps.Tc_store.worker mstore 0 menv in
+  let t0 = menv.now () in
+  for k = 0 to n - 1 do
+    Apps.Tc_store.put mw (Int64.of_int k)
+      (Workload.Keygen.value kg value_bytes)
+  done;
+  let msync_ns = menv.now () - t0 in
+  Printf.printf
+    "\nmsync-per-update baseline: %d puts in %.2f ms simulated (%.1f us/op)\n"
+    n
+    (float_of_int msync_ns /. 1e6)
+    (float_of_int msync_ns /. float_of_int n /. 1e3);
+  Printf.printf "\nMnemosyne speedup: %.1fx (paper: ~2x at 64 B, ~15x at 1 KiB)\n"
+    (float_of_int msync_ns /. float_of_int mnemo_ns);
+  Mnemosyne.close inst

@@ -1,0 +1,90 @@
+(* Quickstart: the paper's programming model in one file.
+
+   A tiny "application" that keeps three kinds of persistent state:
+   - a pstatic counter of how many times it has run,
+   - a persistent list of notes (figure 3's allocate-fill-link idiom),
+   - a raw word log of timestamps (append-only updates, section 3.2.1).
+
+   Run it repeatedly and watch state accumulate across "reboots":
+
+     dune exec examples/quickstart.exe             # run + crash + recover
+     dune exec examples/quickstart.exe -- /tmp/qs  # persistent directory
+*)
+
+let () =
+  let dir =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else Filename.concat (Filename.get_temp_dir_name ()) "mnemosyne-quickstart"
+  in
+  Printf.printf "Mnemosyne quickstart (state in %s)\n\n" dir;
+
+  (* Opening an instance boots or recovers the whole stack: region
+     manager, heap, transaction logs. *)
+  let inst = Mnemosyne.open_instance ~dir () in
+
+  (* 1. pstatic: a named persistent global, zero on the very first run.
+     Single-variable updates need no transaction - one atomic word
+     write-through plus a fence. *)
+  let runs_slot = Mnemosyne.pstatic inst "quickstart.runs" 8 in
+  let v = Mnemosyne.view inst in
+  let runs = Int64.add (Region.Pmem.load v runs_slot) 1L in
+  Region.Pmem.wtstore v runs_slot runs;
+  Region.Pmem.fence v;
+  Printf.printf "This program has now run %Ld time(s).\n" runs;
+
+  (* 2. A persistent linked list of notes, updated in durable memory
+     transactions.  The node allocation, its contents and the link all
+     commit atomically - crash anywhere and the list is never torn. *)
+  let list_slot = Mnemosyne.pstatic inst "quickstart.notes" 8 in
+  let notes =
+    Mnemosyne.atomically inst (fun tx ->
+        match Int64.to_int (Mtm.Txn.load tx list_slot) with
+        | 0 -> Pstruct.Plist.create tx ~slot:list_slot
+        | root -> Pstruct.Plist.attach tx ~root)
+  in
+  Mnemosyne.atomically inst (fun tx ->
+      Pstruct.Plist.push tx notes
+        (Bytes.of_string (Printf.sprintf "note from run %Ld" runs)));
+  Mnemosyne.atomically inst (fun tx ->
+      Printf.printf "Notes so far (%d, newest first):\n"
+        (Pstruct.Plist.length tx notes);
+      Pstruct.Plist.iter tx notes (fun b ->
+          Printf.printf "  - %s\n" (Bytes.to_string b)));
+
+  (* 3. A raw word log: the append-update consistency mechanism.  Each
+     run appends one record; recovery discards torn appends without
+     commit records or checksums (the tornbit). *)
+  let log = Mnemosyne.Log.create inst ~name:"quickstart.events" ~cap_words:512 in
+  Printf.printf "Event log carried %d record(s) from previous runs.\n"
+    (List.length (Mnemosyne.Log.recovered log));
+  Mnemosyne.Log.append log [| runs; Int64.of_int 0xbeef |];
+  Mnemosyne.Log.flush log;
+
+  (* Crash on purpose: power fails, caches and write-combining buffers
+     are lost with adversarial policies, and the machine reboots from
+     the surviving SCM image.  Everything committed above must be
+     there. *)
+  Printf.printf "\nSimulating power failure and reboot...\n";
+  let inst = Mnemosyne.reincarnate inst in
+  let v = Mnemosyne.view inst in
+  let runs_slot = Mnemosyne.pstatic inst "quickstart.runs" 8 in
+  Printf.printf "After recovery: run counter = %Ld\n"
+    (Region.Pmem.load v runs_slot);
+  let list_slot = Mnemosyne.pstatic inst "quickstart.notes" 8 in
+  let count =
+    Mnemosyne.atomically inst (fun tx ->
+        let notes =
+          Pstruct.Plist.attach tx
+            ~root:(Int64.to_int (Mtm.Txn.load tx list_slot))
+        in
+        Pstruct.Plist.length tx notes)
+  in
+  Printf.printf "After recovery: %d note(s) intact\n" count;
+  let stats = Mnemosyne.reincarnation_stats inst in
+  Printf.printf
+    "Reincarnation cost (simulated): boot %.1f ms, remap %.2f ms, heap scavenge %.2f ms\n"
+    (float_of_int stats.boot_ns /. 1e6)
+    (float_of_int stats.remap_ns /. 1e6)
+    (float_of_int stats.heap_scavenge_ns /. 1e6);
+  Mnemosyne.close inst;
+  Printf.printf "\nState saved; run me again.\n"

@@ -1,0 +1,1 @@
+lib/apps/ldap_server.ml: Array Baseline Bytes Hashtbl Int64 Mnemosyne Mtm Option Printf Pstruct Region Scm

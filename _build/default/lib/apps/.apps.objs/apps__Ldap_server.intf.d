@@ -1,0 +1,1 @@
+lib/apps/ldap_server.mli: Baseline Bytes Mnemosyne Scm Sim

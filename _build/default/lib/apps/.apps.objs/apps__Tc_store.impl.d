@@ -1,0 +1,1 @@
+lib/apps/tc_store.ml: Baseline Bytes Int64 Mnemosyne Mtm Option Printf Pstruct Region Scm

@@ -1,0 +1,1 @@
+lib/apps/tc_store.mli: Baseline Bytes Mnemosyne Scm Sim

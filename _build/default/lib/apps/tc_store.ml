@@ -1,0 +1,66 @@
+type backend =
+  | Msync of Baseline.Msync_store.t
+  | Mnemo of { inst : Mnemosyne.t; slot : int }
+
+type t = { backend : backend; request_ns : int }
+
+type worker = {
+  store : t;
+  env : Scm.Env.t;
+  mtm_thread : Mtm.Txn.thread option;
+}
+
+let create_msync ?sim ?(request_ns = 16000) disk =
+  { backend = Msync (Baseline.Msync_store.create ?sim disk); request_ns }
+
+let create_mnemosyne ?(request_ns = 16000) inst =
+  let slot = Mnemosyne.pstatic inst "tc.tree" 8 in
+  if Region.Pmem.load (Mnemosyne.view inst) slot = 0L then
+    ignore
+      (Mnemosyne.atomically inst (fun tx -> Pstruct.Bp_tree.create tx ~slot));
+  { backend = Mnemo { inst; slot }; request_ns }
+
+let worker t i env =
+  match t.backend with
+  | Msync _ -> { store = t; env; mtm_thread = None }
+  | Mnemo { inst; _ } ->
+      { store = t; env; mtm_thread = Some (Mnemosyne.thread inst i env) }
+
+let key_bytes k = Bytes.of_string (Printf.sprintf "%016Lx" k)
+
+let tree_of w tx =
+  match w.store.backend with
+  | Mnemo { slot; _ } ->
+      Pstruct.Bp_tree.attach tx ~root:(Int64.to_int (Mtm.Txn.load tx slot))
+  | Msync _ -> assert false
+
+let put w k v =
+  w.env.Scm.Env.delay w.store.request_ns;
+  match w.store.backend with
+  | Msync s -> Baseline.Msync_store.put s w.env (key_bytes k) v
+  | Mnemo _ ->
+      let th = Option.get w.mtm_thread in
+      Mtm.Txn.run th (fun tx -> Pstruct.Bp_tree.put tx (tree_of w tx) k v)
+
+let get w k =
+  w.env.Scm.Env.delay (w.store.request_ns / 2);
+  match w.store.backend with
+  | Msync s -> Baseline.Msync_store.get s w.env (key_bytes k)
+  | Mnemo _ ->
+      let th = Option.get w.mtm_thread in
+      Mtm.Txn.run th (fun tx -> Pstruct.Bp_tree.find tx (tree_of w tx) k)
+
+let delete w k =
+  w.env.Scm.Env.delay w.store.request_ns;
+  match w.store.backend with
+  | Msync s -> Baseline.Msync_store.delete s w.env (key_bytes k)
+  | Mnemo _ ->
+      let th = Option.get w.mtm_thread in
+      Mtm.Txn.run th (fun tx -> Pstruct.Bp_tree.remove tx (tree_of w tx) k)
+
+let length w =
+  match w.store.backend with
+  | Msync s -> Baseline.Msync_store.length s
+  | Mnemo _ ->
+      let th = Option.get w.mtm_thread in
+      Mtm.Txn.run th (fun tx -> Pstruct.Bp_tree.length tx (tree_of w tx))

@@ -1,0 +1,29 @@
+(** A Tokyo-Cabinet-style key/value store core (paper section 6.2,
+    table 4).
+
+    Two persistence strategies over the same B+ tree workload:
+
+    - {e Msync}: the stock approach — tree in a memory-mapped file,
+      [msync] after every update ({!Baseline.Msync_store});
+    - {e Mnemosyne}: "allocate its B+ tree in a persistent region and
+      perform updates in durable transactions", locks removed in favour
+      of transactional concurrency control.
+
+    The per-request parse/dispatch cost of the TC library is charged on
+    every operation; unlike LDAP it is small, which is why storage
+    dominates and Mnemosyne's advantage is large here. *)
+
+type t
+type worker
+
+val create_msync : ?sim:Sim.t -> ?request_ns:int -> Baseline.Pcm_disk.t -> t
+
+val create_mnemosyne : ?request_ns:int -> Mnemosyne.t -> t
+(** Tree rooted at the [pstatic] "tc.tree". *)
+
+val worker : t -> int -> Scm.Env.t -> worker
+
+val put : worker -> int64 -> Bytes.t -> unit
+val get : worker -> int64 -> Bytes.t option
+val delete : worker -> int64 -> bool
+val length : worker -> int

@@ -1,0 +1,1 @@
+lib/baseline/bdb.ml: Bytes Hashtbl Option Page_cache Pcm_disk Scm Wal

@@ -1,0 +1,1 @@
+lib/baseline/bdb.mli: Bytes Pcm_disk Scm Sim Wal

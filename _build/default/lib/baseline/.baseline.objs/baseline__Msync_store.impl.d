@@ -1,0 +1,1 @@
+lib/baseline/msync_store.ml: Bytes Hashtbl Option Pcm_disk Scm Sim

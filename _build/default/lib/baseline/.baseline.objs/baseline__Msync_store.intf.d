@@ -1,0 +1,1 @@
+lib/baseline/msync_store.mli: Bytes Pcm_disk Scm Sim

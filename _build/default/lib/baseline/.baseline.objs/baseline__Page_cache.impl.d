@@ -1,0 +1,1 @@
+lib/baseline/page_cache.ml: Bytes Hashtbl Pcm_disk

@@ -1,0 +1,1 @@
+lib/baseline/page_cache.mli: Bytes Pcm_disk Scm

@@ -1,0 +1,1 @@
+lib/baseline/pcm_disk.ml: Bytes Scm

@@ -1,0 +1,1 @@
+lib/baseline/pcm_disk.mli: Bytes Scm

@@ -1,0 +1,1 @@
+lib/baseline/serializer.ml: Buffer Bytes Int64 List Pcm_disk Scm

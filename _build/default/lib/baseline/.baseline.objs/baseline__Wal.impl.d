@@ -1,0 +1,1 @@
+lib/baseline/wal.ml: Option Pcm_disk Scm Sim

@@ -1,0 +1,1 @@
+lib/baseline/wal.mli: Pcm_disk Scm Sim

@@ -1,0 +1,42 @@
+(** Tokyo-Cabinet-style persistence: a memory-mapped B+ tree file
+    flushed with [msync] (table 4's baseline).
+
+    "Tokyo Cabinet stores data in a B+ tree and periodically calls
+    msync on a memory-mapped file to flush modified pages to disk...
+    we configured it to save data with msync after every update."
+
+    The store is functionally real (an in-memory map); the cost model
+    captures what makes the msync path expensive: every update dirties
+    the touched leaf plus tree metadata, and the mmap write-back path
+    exhibits heavy write amplification (whole pages rewritten for small
+    logical changes, allocation and reorganization traffic as values
+    grow).  The defaults reproduce the paper's measured TC-on-PCM-disk
+    throughput shape; [msync] also cannot be torn-write safe, which the
+    paper calls out — we expose that as {!torn_window_pages}. *)
+
+type t
+
+val create :
+  ?sim:Sim.t ->
+  ?base_pages_per_update:int ->
+  ?bytes_per_extra_page:int ->
+  ?page_sync_ns:int ->
+  Pcm_disk.t ->
+  t
+(** Defaults: 2 metadata/leaf pages per update, one further dirty page
+    per 34 bytes of value (mmap write amplification), 12000 ns per
+    synced page (write-back + filesystem path + media).  With a
+    simulator handle, concurrent [msync]s serialize under the kernel's
+    write-back lock (multi-threaded use). *)
+
+val put : t -> Scm.Env.t -> Bytes.t -> Bytes.t -> unit
+(** Update and [msync]: durable on return. *)
+
+val get : t -> Scm.Env.t -> Bytes.t -> Bytes.t option
+val delete : t -> Scm.Env.t -> Bytes.t -> bool
+val length : t -> int
+
+val pages_synced : t -> int
+val torn_window_pages : t -> int
+(** Pages that were mid-write at the most recent sync — the torn-write
+    exposure the paper notes msync suffers from. *)

@@ -1,0 +1,1 @@
+lib/heap/alloc_log.ml: Array Int64 List Pmlog Region

@@ -1,0 +1,1 @@
+lib/heap/alloc_log.mli: Region

@@ -1,0 +1,1 @@
+lib/heap/heap.ml: Alloc_log Hoard Int64 Large_alloc Region Scm

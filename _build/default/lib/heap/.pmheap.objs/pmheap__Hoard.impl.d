@@ -1,0 +1,1 @@
+lib/heap/hoard.ml: Alloc_log Array Fun Hashtbl Int64 List Region Scm

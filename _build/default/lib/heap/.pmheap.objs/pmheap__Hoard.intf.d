@@ -1,0 +1,1 @@
+lib/heap/hoard.mli: Alloc_log Region

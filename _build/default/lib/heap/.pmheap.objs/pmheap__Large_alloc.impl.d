@@ -1,0 +1,1 @@
+lib/heap/large_alloc.ml: Alloc_log Int64 List Region

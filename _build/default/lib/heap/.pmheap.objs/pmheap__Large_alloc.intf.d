@@ -1,0 +1,1 @@
+lib/heap/large_alloc.mli: Alloc_log Region

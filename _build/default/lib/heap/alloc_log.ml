@@ -1,0 +1,66 @@
+module Pmem = Region.Pmem
+
+type t = { v : Pmem.view; log : Pmlog.Rawl.t }
+
+let region_words = 2040
+let region_bytes = Pmlog.Rawl.region_bytes_for ~cap_words:region_words
+
+let create v ~base = { v; log = Pmlog.Rawl.create v ~base ~cap_words:region_words }
+
+let encode writes =
+  let n = List.length writes in
+  let rec_words = Array.make (1 + (2 * n)) 0L in
+  rec_words.(0) <- Int64.of_int n;
+  List.iteri
+    (fun i (addr, value) ->
+      rec_words.(1 + (2 * i)) <- Int64.of_int addr;
+      rec_words.(2 + (2 * i)) <- value)
+    writes;
+  rec_words
+
+let decode rec_words =
+  if Array.length rec_words < 1 then None
+  else
+    let n = Int64.to_int rec_words.(0) in
+    if n < 1 || Array.length rec_words <> 1 + (2 * n) then None
+    else
+      Some
+        (List.init n (fun i ->
+             (Int64.to_int rec_words.(1 + (2 * i)), rec_words.(2 + (2 * i)))))
+
+let apply v writes =
+  List.iter (fun (addr, value) -> Pmem.wtstore v addr value) writes;
+  Pmem.fence v
+
+let attach v ~base =
+  let log, records = Pmlog.Rawl.attach v ~base in
+  let replayed = ref 0 in
+  List.iter
+    (fun r ->
+      match decode r with
+      | Some writes ->
+          apply v writes;
+          incr replayed
+      | None -> ())
+    records;
+  Pmlog.Rawl.truncate_all log;
+  ({ v; log }, !replayed)
+
+let commit t writes =
+  if writes = [] then invalid_arg "Alloc_log.commit: no writes";
+  let record = encode writes in
+  (match Pmlog.Rawl.append t.log record with
+  | Pmlog.Rawl.Appended _ -> ()
+  | Pmlog.Rawl.Full ->
+      (* Applied records are idempotent redo; dropping them all is
+         always safe once applied, and every record in the log has been
+         applied by the time we get here. *)
+      Pmlog.Rawl.truncate_all t.log;
+      (match Pmlog.Rawl.append t.log record with
+      | Pmlog.Rawl.Appended _ -> ()
+      | Pmlog.Rawl.Full -> failwith "Alloc_log: record larger than the log"));
+  Pmlog.Rawl.flush t.log;
+  apply t.v writes;
+  (* Lazy truncation: reclaim in bulk when the buffer is half full. *)
+  if Pmlog.Rawl.used_words t.log > Pmlog.Rawl.capacity t.log / 2 then
+    Pmlog.Rawl.truncate_all t.log

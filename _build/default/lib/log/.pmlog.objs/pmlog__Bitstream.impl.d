@@ -1,0 +1,1 @@
+lib/log/bitstream.ml: Int64

@@ -1,0 +1,1 @@
+lib/log/bitstream.mli:

@@ -1,0 +1,1 @@
+lib/log/commit_log.ml: Array Int64 List Region

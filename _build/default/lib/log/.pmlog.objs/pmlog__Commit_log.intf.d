@@ -1,0 +1,1 @@
+lib/log/commit_log.mli: Region

@@ -1,0 +1,1 @@
+lib/log/rawl.ml: Array Bitstream Int64 List Region Scm

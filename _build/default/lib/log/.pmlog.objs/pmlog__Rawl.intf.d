@@ -1,0 +1,1 @@
+lib/log/rawl.mli: Region

@@ -1,0 +1,287 @@
+module Pmem = Region.Pmem
+
+type t = {
+  v : Pmem.view;
+  base : int;
+  cap : int;
+  rotate : bool;
+  mutable passes : int;  (* wraps since the last rotation (volatile) *)
+  mutable head_off : int;
+  mutable head_parity : int;
+  mutable head_tpos : int;  (* torn-bit position of the pass at head *)
+  mutable tail_off : int;
+  mutable tail_parity : int;
+  mutable tail_tpos : int;
+}
+
+let header_bytes = 64
+
+let region_bytes_for ~cap_words = header_bytes + (8 * cap_words)
+
+let max_record_words t = ((t.cap - 1) * 63 / 64) - 1
+
+let capacity t = t.cap
+let used_words t = (t.tail_off - t.head_off + t.cap) mod t.cap
+let free_words t = t.cap - 1 - used_words t
+let torn_bit_position t = t.tail_tpos
+
+let head_addr t = t.base
+let cap_addr t = t.base + 8
+let slot_addr t pos = t.base + header_bytes + (8 * pos)
+
+(* Head word: offset in bits 0..47, pass parity in bit 48, torn-bit
+   position in bits 49..54 — one atomic word still truncates. *)
+let pack_head ~off ~parity ~tpos =
+  Int64.logor (Int64.of_int off)
+    (Int64.logor
+       (Int64.shift_left (Int64.of_int parity) 48)
+       (Int64.shift_left (Int64.of_int tpos) 49))
+
+let unpack_head w =
+  ( Int64.to_int (Int64.logand w 0xffff_ffff_ffffL),
+    Int64.to_int (Int64.logand (Int64.shift_right_logical w 48) 1L),
+    Int64.to_int (Int64.logand (Int64.shift_right_logical w 49) 63L) )
+
+(* Cap word: capacity in the low bits, the rotation flag in bit 62. *)
+let pack_cap ~cap ~rotate =
+  Int64.logor (Int64.of_int cap)
+    (if rotate then Int64.shift_left 1L 62 else 0L)
+
+let unpack_cap w =
+  ( Int64.to_int (Int64.logand w 0xffff_ffff_ffffL),
+    Int64.logand (Int64.shift_right_logical w 62) 1L = 1L )
+
+(* Place the 63 payload bits of [chunk] around a hole at bit [tpos]
+   carrying the torn bit [b].  With tpos = 63 this is exactly the
+   classic layout (payload low, torn bit on top). *)
+let insert_torn chunk tpos b =
+  let low_mask = Int64.sub (Int64.shift_left 1L tpos) 1L in
+  let low = Int64.logand chunk low_mask in
+  let high =
+    if tpos >= 63 then 0L
+    else Int64.shift_left (Int64.shift_right_logical chunk tpos) (tpos + 1)
+  in
+  Int64.logor low
+    (Int64.logor high (if b then Int64.shift_left 1L tpos else 0L))
+
+let extract_torn word tpos =
+  let low_mask = Int64.sub (Int64.shift_left 1L tpos) 1L in
+  let low = Int64.logand word low_mask in
+  let high =
+    if tpos >= 63 then 0L
+    else Int64.shift_left (Int64.shift_right_logical word (tpos + 1)) tpos
+  in
+  (Int64.logor low high, Scm.Word.bit word tpos)
+
+(* Each wrap flips the parity; the torn-bit position is constant within
+   a generation (rotating it at a wrap would be unsound: stale words
+   checked at a new position pass the check half the time).  Rotation
+   happens in {!truncate_all} instead — see below. *)
+let next_pass _t ~parity ~tpos = (1 - parity, tpos)
+
+(* How many buffer passes between torn-bit rotations. *)
+let rotate_period = 16
+
+let create ?(rotate_torn_bit = false) v ~base ~cap_words =
+  if cap_words < 4 then invalid_arg "Rawl.create: capacity too small";
+  let t =
+    {
+      v;
+      base;
+      cap = cap_words;
+      rotate = rotate_torn_bit;
+      passes = 0;
+      head_off = 0;
+      head_parity = 1;  (* zeroed buffer: pass-0 words carry torn bit 1 *)
+      head_tpos = 63;
+      tail_off = 0;
+      tail_parity = 1;
+      tail_tpos = 63;
+    }
+  in
+  Pmem.wtstore v (cap_addr t) (pack_cap ~cap:cap_words ~rotate:rotate_torn_bit);
+  Pmem.wtstore v (head_addr t) (pack_head ~off:0 ~parity:1 ~tpos:63);
+  Pmem.fence v;
+  t
+
+type append_result = Appended of int | Full
+
+let write_stored t chunk =
+  let word = insert_torn chunk t.tail_tpos (t.tail_parity = 1) in
+  Pmem.wtstore t.v (slot_addr t t.tail_off) word;
+  t.tail_off <- t.tail_off + 1;
+  if t.tail_off = t.cap then begin
+    t.tail_off <- 0;
+    t.passes <- t.passes + 1;
+    let parity, tpos = next_pass t ~parity:t.tail_parity ~tpos:t.tail_tpos in
+    t.tail_parity <- parity;
+    t.tail_tpos <- tpos
+  end
+
+let append t payload =
+  let n = Array.length payload in
+  if n = 0 then invalid_arg "Rawl.append: empty record";
+  let span = Bitstream.stored_words_for (n + 1) in
+  if span > free_words t then Full
+  else begin
+    (* The paper charges the bit manipulation per word streamed; this is
+       the cost that makes tornbit lose to a commit record for large
+       records (table 6). *)
+    t.v.env.Scm.Env.delay
+      ((n + 1) * t.v.env.Scm.Env.machine.latency.bit_pack_ns_per_word);
+    let packer = Bitstream.Packer.create ~emit:(fun c -> write_stored t c) in
+    Bitstream.Packer.push packer (Int64.of_int n);
+    Array.iter (Bitstream.Packer.push packer) payload;
+    Bitstream.Packer.flush packer;
+    Appended span
+  end
+
+let flush t = Pmem.fence t.v
+
+let set_head t ~off ~parity ~tpos =
+  Pmem.wtstore t.v (head_addr t) (pack_head ~off ~parity ~tpos);
+  Pmem.fence t.v;
+  t.head_off <- off;
+  t.head_parity <- parity;
+  t.head_tpos <- tpos
+
+(* Shift the torn bit one position down and erase the buffer (zeros
+   read as torn bit 0 at any position, and the fresh generation starts
+   with parity 1, so detection stays sound).  Section 4.5's suggestion,
+   made safe by only rotating through a whole-buffer erase, amortized
+   over [rotate_period] passes. *)
+let rotate_generation t =
+  let tpos = (t.tail_tpos + 63) mod 64 in
+  for i = 0 to t.cap - 1 do
+    Pmem.wtstore t.v (slot_addr t i) 0L
+  done;
+  Pmem.fence t.v;
+  t.tail_off <- 0;
+  t.tail_parity <- 1;
+  t.tail_tpos <- tpos;
+  t.passes <- 0;
+  set_head t ~off:0 ~parity:1 ~tpos
+
+let truncate_all t =
+  if t.rotate && t.passes >= rotate_period then rotate_generation t
+  else set_head t ~off:t.tail_off ~parity:t.tail_parity ~tpos:t.tail_tpos
+
+let advance_head t ~words =
+  if words < 0 || words > used_words t then
+    invalid_arg "Rawl.advance_head: beyond tail";
+  let raw = t.head_off + words in
+  if raw >= t.cap then begin
+    let parity, tpos = next_pass t ~parity:t.head_parity ~tpos:t.head_tpos in
+    set_head t ~off:(raw - t.cap) ~parity ~tpos
+  end
+  else set_head t ~off:raw ~parity:t.head_parity ~tpos:t.head_tpos
+
+(* ------------------------------------------------------------------ *)
+(* Recovery *)
+
+exception Scan_end
+
+let attach v ~base =
+  let cap, rotate = unpack_cap (Pmem.load v (base + 8)) in
+  if cap < 4 then failwith "Rawl.attach: no log at this address";
+  let head_off, head_parity, head_tpos = unpack_head (Pmem.load v base) in
+  let t =
+    { v; base; cap; rotate; passes = 0; head_off; head_parity; head_tpos;
+      tail_off = head_off; tail_parity = head_parity; tail_tpos = head_tpos }
+  in
+  (* Scan forward from the head "until it reaches the end of the log,
+     where the torn bit reverses, or until it finds a log word with an
+     out-of-sequence torn bit, indicating a partial write." *)
+  let pos = ref head_off and parity = ref head_parity
+  and tpos = ref head_tpos in
+  let budget = ref (cap - 1) in
+  let read_chunk () =
+    if !budget = 0 then raise Scan_end;
+    let w = Pmem.load v (slot_addr t !pos) in
+    let chunk, torn = extract_torn w !tpos in
+    if torn <> (!parity = 1) then raise Scan_end;
+    decr budget;
+    incr pos;
+    if !pos = cap then begin
+      pos := 0;
+      let parity', tpos' = next_pass t ~parity:!parity ~tpos:!tpos in
+      parity := parity';
+      tpos := tpos'
+    end;
+    chunk
+  in
+  let records = ref [] in
+  (try
+     while true do
+       (* Checkpoint the cursor: a partial record rolls back to here. *)
+       let rec_pos = !pos
+       and rec_parity = !parity
+       and rec_tpos = !tpos
+       and rec_budget = !budget in
+       (try
+          let unp = Bitstream.Unpacker.create () in
+          let next_word () =
+            let rec go () =
+              match Bitstream.Unpacker.take unp with
+              | Some w -> w
+              | None ->
+                  Bitstream.Unpacker.feed unp (read_chunk ());
+                  go ()
+            in
+            go ()
+          in
+          let n = Int64.to_int (next_word ()) in
+          if n < 1 || n > (cap - 1) * 63 / 64 then raise Scan_end;
+          let payload = Array.make n 0L in
+          for i = 0 to n - 1 do
+            payload.(i) <- next_word ()
+          done;
+          records := payload :: !records;
+          (* Move tail past this complete record. *)
+          t.tail_off <- !pos;
+          t.tail_parity <- !parity;
+          t.tail_tpos <- !tpos
+        with Scan_end ->
+          (* Partial trailing record: discard and stop the scan. *)
+          pos := rec_pos;
+          parity := rec_parity;
+          tpos := rec_tpos;
+          budget := rec_budget;
+          raise Scan_end)
+     done
+   with Scan_end -> ());
+  (* Erase the stale suffix: words of a discarded partial append ahead
+     of the recovered tail still carry the current pass parity, and a
+     later crash could mis-parse them as a record continuation.  Rewrite
+     them as previous-pass filler so the torn-bit scan stays sound. *)
+  let erase_pos = ref t.tail_off
+  and erase_parity = ref t.tail_parity
+  and erase_tpos = ref t.tail_tpos
+  and erase_budget = ref (cap - 1)
+  and erased = ref false in
+  let continue_erase = ref true in
+  while !continue_erase && !erase_budget > 0 do
+    let w = Pmem.load v (slot_addr t !erase_pos) in
+    let _, torn = extract_torn w !erase_tpos in
+    if torn = (!erase_parity = 1) then begin
+      let filler =
+        (* looks like the previous pass at this position *)
+        if !erase_parity = 1 then 0L else Int64.shift_left 1L !erase_tpos
+      in
+      Pmem.wtstore v (slot_addr t !erase_pos) filler;
+      erased := true;
+      decr erase_budget;
+      incr erase_pos;
+      if !erase_pos = cap then begin
+        erase_pos := 0;
+        let parity', tpos' =
+          next_pass t ~parity:!erase_parity ~tpos:!erase_tpos
+        in
+        erase_parity := parity';
+        erase_tpos := tpos'
+      end
+    end
+    else continue_erase := false
+  done;
+  if !erased then Pmem.fence v;
+  (t, List.rev !records)

@@ -1,0 +1,78 @@
+(** The tornbit raw word log — RAWL (paper section 4.4).
+
+    A fixed-size single-producer/single-consumer Lamport circular buffer
+    of uninterpreted 64-bit words, with the paper's novel atomic-append
+    mechanism: every stored word reserves one torn bit whose value is
+    constant within a pass over the buffer and reverses on wrap-around.
+    A complete append has consistent torn bits; after a crash, a word
+    whose torn bit is out of sequence marks a missing write, so a single
+    fence suffices per [flush] — no commit record, no checksum.
+
+    Appends are streamed with write-through stores and become durable at
+    the next {!flush}.  The head pointer (offset + pass parity packed in
+    one word) is the only other persistent state, updated atomically by
+    truncation.
+
+    In-memory layout, relative to [base] (which must point at fresh,
+    zeroed persistent memory when created):
+    - word 0: head word — offset in bits 0..47, pass parity in bit 48;
+    - word 1: capacity in stored words;
+    - byte 64 onward: the circular buffer.
+
+    The first pass writes torn bit 1 over the zero-initialized buffer,
+    so never-written words are always detectable. *)
+
+type t
+
+val region_bytes_for : cap_words:int -> int
+(** Bytes of persistent memory needed for a log with that buffer
+    capacity (header + buffer). *)
+
+val max_record_words : t -> int
+(** Largest payload (in 64-bit words) a single append can hold. *)
+
+val create :
+  ?rotate_torn_bit:bool -> Region.Pmem.view -> base:int -> cap_words:int -> t
+(** Initialize a fresh log over zeroed persistent memory.
+
+    [rotate_torn_bit] (default false) enables the wear-spreading
+    refinement of paper section 4.5: every {!rotate_period} passes the
+    torn bit moves to a different bit position (via a whole-buffer
+    erase at a truncation, which keeps missing-write detection sound).
+    Without it, the torn-bit position flips value on every pass while
+    payload bits often repeat, so under bit-level write-skipping
+    hardware that one bit column wears fastest. *)
+
+val rotate_period : int
+(** Buffer passes between torn-bit rotations (when enabled). *)
+
+val torn_bit_position : t -> int
+(** Current torn-bit position (63 unless rotation has occurred). *)
+
+val attach : Region.Pmem.view -> base:int -> t * int64 array list
+(** Recover an existing log: returns the handle (tail positioned after
+    the last complete record) and every complete record from head to
+    tail, in order.  Incomplete trailing appends are discarded, exactly
+    as the paper's recovery scan does. *)
+
+type append_result = Appended of int  (** stored-word span *) | Full
+
+val append : t -> int64 array -> append_result
+(** Stream a record into the log (not yet durable).  [Full] when the
+    free space cannot hold it; the caller truncates (or waits for the
+    asynchronous truncation daemon) and retries.  The returned span is
+    what {!advance_head} takes to consume this record. *)
+
+val flush : t -> unit
+(** [log_flush]: one fence; all prior appends are durable after this. *)
+
+val truncate_all : t -> unit
+(** Drop every record: head := tail, one atomic word write + fence. *)
+
+val advance_head : t -> words:int -> unit
+(** Consume [words] stored words from the head (the sum of spans of the
+    records being retired).  Atomic, like {!truncate_all}. *)
+
+val used_words : t -> int
+val free_words : t -> int
+val capacity : t -> int

@@ -1,0 +1,1 @@
+lib/mtm/lock_table.mli:

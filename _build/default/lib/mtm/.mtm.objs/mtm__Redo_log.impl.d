@@ -1,0 +1,1 @@
+lib/mtm/redo_log.ml: Array Int64 List Pmlog

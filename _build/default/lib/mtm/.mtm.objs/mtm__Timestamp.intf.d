@@ -1,0 +1,1 @@
+lib/mtm/timestamp.mli: Scm

@@ -1,0 +1,1 @@
+lib/mtm/txn.ml: Array Bytes Hashtbl Int64 List Lock_table Pmheap Pmlog Printf Queue Random Redo_log Region Scm Timestamp

@@ -1,0 +1,1 @@
+lib/mtm/txn.mli: Bytes Pmheap Region Scm

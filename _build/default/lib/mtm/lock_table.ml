@@ -1,0 +1,30 @@
+type t = { versions : int array; owners : int array; mask : int }
+
+let create ?(bits = 18) () =
+  let n = 1 lsl bits in
+  { versions = Array.make n 0; owners = Array.make n (-1); mask = n - 1 }
+
+(* Each lock covers one 64-byte line of the address space (the paper:
+   "each lock covering a portion of the address space").  Range
+   striding, not hashing: contiguous writes take contiguous locks, so a
+   large write set occupies few entries and disjoint structures rarely
+   false-conflict. *)
+let index_of t addr = (addr lsr 6) land t.mask
+
+let version t idx = t.versions.(idx)
+let owner t idx = t.owners.(idx)
+
+let try_acquire t idx ~owner =
+  if t.owners.(idx) = -1 then begin
+    t.owners.(idx) <- owner;
+    true
+  end
+  else t.owners.(idx) = owner
+
+let release t idx = t.owners.(idx) <- -1
+
+let release_versioned t idx ~version =
+  t.versions.(idx) <- version;
+  t.owners.(idx) <- -1
+
+let entries t = t.mask + 1

@@ -1,0 +1,33 @@
+(** The global array of volatile locks used for encounter-time locking
+    (paper section 5): "a global array of volatile locks, with each lock
+    covering a portion of the address space".
+
+    Each entry holds a version (the commit timestamp of the last
+    transaction to write a covered address) and an owner (the
+    transaction currently holding the lock, if any).  The table is
+    volatile: after a crash it is simply recreated, because recovery
+    replays committed transactions single-threadedly. *)
+
+type t
+
+val create : ?bits:int -> unit -> t
+(** [2^bits] entries (default 18). *)
+
+val index_of : t -> int -> int
+(** Map an address to its covering lock: one lock per 64-byte line,
+    wrapping around the table. *)
+
+val version : t -> int -> int
+val owner : t -> int -> int
+(** Owning transaction id, or -1. *)
+
+val try_acquire : t -> int -> owner:int -> bool
+(** Acquire if free or already ours; false if another owner holds it. *)
+
+val release : t -> int -> unit
+(** Release without changing the version (abort path). *)
+
+val release_versioned : t -> int -> version:int -> unit
+(** Release and publish a new version (commit path). *)
+
+val entries : t -> int

@@ -1,0 +1,30 @@
+type record = { ts : int; writes : (int * int64) list }
+
+let encode ~ts writes =
+  let n = List.length writes in
+  let arr = Array.make (2 + (2 * n)) 0L in
+  arr.(0) <- Int64.of_int ts;
+  arr.(1) <- Int64.of_int n;
+  List.iteri
+    (fun i (addr, v) ->
+      arr.(2 + (2 * i)) <- Int64.of_int addr;
+      arr.(3 + (2 * i)) <- v)
+    writes;
+  arr
+
+let decode arr =
+  if Array.length arr < 2 then None
+  else
+    let ts = Int64.to_int arr.(0) in
+    let n = Int64.to_int arr.(1) in
+    if n < 0 || Array.length arr <> 2 + (2 * n) || ts <= 0 then None
+    else
+      Some
+        {
+          ts;
+          writes =
+            List.init n (fun i ->
+                (Int64.to_int arr.(2 + (2 * i)), arr.(3 + (2 * i))));
+        }
+
+let span_words ~nwrites = Pmlog.Bitstream.stored_words_for (2 + (2 * nwrites))

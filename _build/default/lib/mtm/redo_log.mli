@@ -1,0 +1,19 @@
+(** Encoding of transaction records in the per-thread RAWL (paper
+    section 5).
+
+    A committed transaction appends one record: its global-timestamp
+    commit order followed by the (address, new value) pairs of its
+    write set.  With write-ahead {e redo} logging, "the only requirement
+    is that the log is written completely before any data values are
+    updated" — the record is streamed during commit and made durable by
+    the RAWL's single tornbit fence. *)
+
+type record = { ts : int; writes : (int * int64) list }
+
+val encode : ts:int -> (int * int64) list -> int64 array
+val decode : int64 array -> record option
+(** [None] for records that are not well-formed transaction records. *)
+
+val span_words : nwrites:int -> int
+(** Stored-word span of a record with that many writes (what the
+    asynchronous truncation daemon advances the head by). *)

@@ -1,0 +1,14 @@
+type t = { mutable now : int; mutable active : int }
+
+let create () = { now = 0; active = 0 }
+
+let now t = t.now
+
+let next t (env : Scm.Env.t) =
+  env.delay (env.machine.latency.timestamp_ns * max 1 t.active);
+  t.now <- t.now + 1;
+  t.now
+
+let register_thread t = t.active <- t.active + 1
+let unregister_thread t = t.active <- max 0 (t.active - 1)
+let active_threads t = t.active

@@ -1,0 +1,26 @@
+(** TinySTM's global timestamp counter (paper section 5).
+
+    Incremented at every transaction completion; the value is stored in
+    the redo log with each transaction so recovery can replay
+    transactions from different threads' logs in execution order.
+
+    The counter is a single shared cache line, so bumping it costs more
+    as more threads hammer it — the paper observes "the slight increase
+    in write latency is due to contention on the global timestamp
+    counter".  We charge [timestamp_ns x active threads] per bump to
+    model that coherence traffic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current value without bumping (transaction read-version snapshot). *)
+
+val next : t -> Scm.Env.t -> int
+(** Bump and return the new value, charging the contention-scaled
+    cost to the calling thread. *)
+
+val register_thread : t -> unit
+val unregister_thread : t -> unit
+val active_threads : t -> int

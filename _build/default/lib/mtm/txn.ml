@@ -1,0 +1,572 @@
+module Pmem = Region.Pmem
+
+type truncation = Sync | Async
+type version_mgmt = Lazy_redo | Eager_undo
+
+type config = {
+  nthreads : int;
+  log_cap_words : int;
+  truncation : truncation;
+  version_mgmt : version_mgmt;
+  lock_bits : int;
+  max_attempts : int;
+}
+
+let default_config =
+  {
+    nthreads = 4;
+    log_cap_words = 65536;
+    truncation = Sync;
+    version_mgmt = Lazy_redo;
+    lock_bits = 18;
+    max_attempts = 64;
+  }
+
+exception Contention
+exception Cancelled
+exception Abort_internal
+
+type pending = { span : int; writes : (int * int64) list }
+
+type pool = {
+  pmem : Region.Pmem.t;
+  heap : Pmheap.Heap.t option;
+  locks : Lock_table.t;
+  ts : Timestamp.t;
+  cfg : config;
+  log_bases : int array;
+  mutable recovered : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable ro_commits : int;
+}
+
+type thread = {
+  id : int;
+  pool : pool;
+  view : Pmem.view;
+  log : Pmlog.Rawl.t;
+  pending_q : pending Queue.t;
+  rng : Random.State.t;
+  mutable current : txn option;
+}
+
+and txn = {
+  th : thread;
+  mutable rv : int;
+  wset : (int, int64) Hashtbl.t;  (* redo: buffered new values *)
+  old_vals : (int, int64) Hashtbl.t;  (* undo: first-write old values *)
+  mutable undo_list : (int * int64) list;  (* undo records, newest first *)
+  mutable wlocks : int list;
+  mutable rset : (int * int) list;
+  mutable resvs : Pmheap.Hoard.reservation list;
+  mutable freed_small : int list;
+  mutable large_allocs : int list;
+  mutable large_frees : int list;
+}
+
+type t = txn
+
+type stats = { commits : int; aborts : int; read_only_commits : int }
+
+let config pool = pool.cfg
+let pmem pool = pool.pmem
+let recovered_txns pool = pool.recovered
+
+let stats (pool : pool) =
+  { commits = pool.commits; aborts = pool.aborts;
+    read_only_commits = pool.ro_commits }
+
+let reset_stats (pool : pool) =
+  pool.commits <- 0;
+  pool.aborts <- 0;
+  pool.ro_commits <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Pool creation and recovery                                          *)
+
+let log_region_bytes cfg =
+  Pmlog.Rawl.region_bytes_for ~cap_words:cfg.log_cap_words
+
+let log_base_of v cfg i =
+  let slot = Region.Pstatic.get v (Printf.sprintf "mtm.log.%02d" i) 8 in
+  let recorded = Int64.to_int (Pmem.load v slot) in
+  let valid =
+    recorded <> 0
+    && Region.Pmem.region_containing v.Pmem.pmem recorded <> None
+  in
+  if valid then recorded
+  else begin
+    let base = Pmem.pmap v (log_region_bytes cfg) in
+    ignore (Pmlog.Rawl.create v ~base ~cap_words:cfg.log_cap_words);
+    Pmem.wtstore v slot (Int64.of_int base);
+    Pmem.fence v;
+    base
+  end
+
+let create_pool ?(config = default_config) pmem heap =
+  if config.version_mgmt = Eager_undo && config.truncation = Async then
+    invalid_arg
+      "Txn.create_pool: undo logging commits by truncation and cannot be \
+       asynchronous";
+  let v = Pmem.default_view pmem in
+  let pool =
+    {
+      pmem;
+      heap;
+      locks = Lock_table.create ~bits:config.lock_bits ();
+      ts = Timestamp.create ();
+      cfg = config;
+      log_bases = Array.make config.nthreads 0;
+      recovered = 0;
+      commits = 0;
+      aborts = 0;
+      ro_commits = 0;
+    }
+  in
+  (* Recovery: gather complete records from every thread log, replay in
+     global-timestamp order, then truncate.  Replay is idempotent redo,
+     so a crash during recovery just redoes it. *)
+  let logs_and_records =
+    Array.to_list
+      (Array.init config.nthreads (fun i ->
+           let base = log_base_of v config i in
+           pool.log_bases.(i) <- base;
+           Pmlog.Rawl.attach v ~base))
+  in
+  (match config.version_mgmt with
+  | Lazy_redo ->
+      (* Redo: every surviving record is a committed transaction; replay
+         all of them in global-timestamp order. *)
+      let records =
+        List.concat_map (fun (_, records) -> records) logs_and_records
+        |> List.filter_map Redo_log.decode
+        |> List.sort (fun a b -> compare a.Redo_log.ts b.Redo_log.ts)
+      in
+      List.iter
+        (fun { Redo_log.ts = _; writes } ->
+          List.iter (fun (addr, value) -> Pmem.wtstore v addr value) writes)
+        records;
+      if records <> [] then begin
+        Pmem.fence v;
+        pool.recovered <- List.length records;
+        (* New transactions must commit with later timestamps than
+           anything a leftover log record could carry. *)
+        let max_ts =
+          List.fold_left (fun acc r -> max acc r.Redo_log.ts) 0 records
+        in
+        for _ = 1 to max_ts do
+          ignore (Timestamp.next pool.ts v.Pmem.env)
+        done
+      end
+  | Eager_undo ->
+      (* Undo: each log holds the [addr, old] records of at most one
+         in-flight (uncommitted) transaction; roll it back by restoring
+         old values in reverse order. *)
+      List.iter
+        (fun (_, records) ->
+          let undo_entries =
+            List.filter_map
+              (fun r ->
+                if Array.length r = 2 then
+                  Some (Int64.to_int r.(0), r.(1))
+                else None)
+              records
+          in
+          if undo_entries <> [] then begin
+            List.iter
+              (fun (addr, old) -> Pmem.wtstore v addr old)
+              (List.rev undo_entries);
+            Pmem.fence v;
+            pool.recovered <- pool.recovered + 1
+          end)
+        logs_and_records);
+  List.iter (fun (log, _) -> Pmlog.Rawl.truncate_all log) logs_and_records;
+  pool
+
+let thread pool i env =
+  if i < 0 || i >= pool.cfg.nthreads then invalid_arg "Txn.thread: slot";
+  let view = Pmem.view pool.pmem env in
+  let log, _ = Pmlog.Rawl.attach view ~base:pool.log_bases.(i) in
+  Timestamp.register_thread pool.ts;
+  {
+    id = i;
+    pool;
+    view;
+    log;
+    pending_q = Queue.create ();
+    rng = Random.State.make [| 0x7a11; i |];
+    current = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Transactional accesses                                              *)
+
+let latency (tx : txn) = tx.th.view.Pmem.env.machine.latency
+let delay (tx : txn) ns = tx.th.view.Pmem.env.delay ns
+
+let validate tx =
+  let locks = tx.th.pool.locks in
+  List.for_all
+    (fun (idx, v) ->
+      Lock_table.version locks idx = v
+      &&
+      let o = Lock_table.owner locks idx in
+      o = -1 || o = tx.th.id)
+    tx.rset
+
+let extend tx =
+  if validate tx then tx.rv <- Timestamp.now tx.th.pool.ts
+  else raise Abort_internal
+
+let load tx addr =
+  delay tx (latency tx).stm_access_ns;
+  match Hashtbl.find_opt tx.wset addr with
+  | Some v -> v
+  | None ->
+      let locks = tx.th.pool.locks in
+      let idx = Lock_table.index_of locks addr in
+      let o = Lock_table.owner locks idx in
+      if o = tx.th.id then Pmem.load tx.th.view addr
+      else if o <> -1 then raise Abort_internal
+      else begin
+        let v1 = Lock_table.version locks idx in
+        let value = Pmem.load tx.th.view addr in
+        (* The load yields in the simulator; re-check for a racing
+           commit before trusting the value. *)
+        if Lock_table.owner locks idx <> -1
+           || Lock_table.version locks idx <> v1
+        then raise Abort_internal;
+        if v1 > tx.rv then extend tx;
+        tx.rset <- (idx, v1) :: tx.rset;
+        value
+      end
+
+(* Stream one undo record ([addr, old value]) and fence: with eager
+   version management "undo logging would require ordering a log write
+   before every memory update" (paper section 5) — this fence is that
+   ordering, and the cost the redo design avoids. *)
+let log_undo tx addr old =
+  (match Pmlog.Rawl.append tx.th.log [| Int64.of_int addr; old |] with
+  | Pmlog.Rawl.Appended _ -> ()
+  | Pmlog.Rawl.Full -> failwith "Txn: undo log full (transaction too large)");
+  Pmlog.Rawl.flush tx.th.log
+
+let store tx addr v =
+  delay tx (latency tx).stm_access_ns;
+  if not (Region.Layout.is_persistent addr) then
+    invalid_arg "Txn.store: address outside the persistent range";
+  let locks = tx.th.pool.locks in
+  let idx = Lock_table.index_of locks addr in
+  let o = Lock_table.owner locks idx in
+  if o = tx.th.id then ()
+  else if o <> -1 then raise Abort_internal
+  else begin
+    if Lock_table.version locks idx > tx.rv then extend tx;
+    if not (Lock_table.try_acquire locks idx ~owner:tx.th.id) then
+      raise Abort_internal;
+    tx.wlocks <- idx :: tx.wlocks
+  end;
+  match tx.th.pool.cfg.version_mgmt with
+  | Lazy_redo -> Hashtbl.replace tx.wset addr v
+  | Eager_undo ->
+      if not (Hashtbl.mem tx.old_vals addr) then begin
+        let old = Pmem.load tx.th.view addr in
+        Hashtbl.add tx.old_vals addr old;
+        tx.undo_list <- (addr, old) :: tx.undo_list;
+        log_undo tx addr old
+      end;
+      (* eager: the new value goes straight to memory; isolation holds
+         because the lock is owned until commit *)
+      Pmem.store tx.th.view addr v
+
+let read_bytes tx addr len =
+  if addr land 7 <> 0 then invalid_arg "Txn.read_bytes: alignment";
+  let buf = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let w = load tx (addr + !pos) in
+    let n = min 8 (len - !pos) in
+    Scm.Word.blit_to_bytes w buf !pos n;
+    pos := !pos + n
+  done;
+  buf
+
+let write_bytes tx addr b =
+  if addr land 7 <> 0 then invalid_arg "Txn.write_bytes: alignment";
+  let len = Bytes.length b in
+  let s = Bytes.unsafe_to_string b in
+  let pos = ref 0 in
+  while !pos < len do
+    store tx (addr + !pos) (Scm.Word.of_string_chunk s !pos);
+    pos := !pos + 8
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Transactional allocation                                            *)
+
+let heap_of tx =
+  match tx.th.pool.heap with
+  | Some h -> h
+  | None -> invalid_arg "Txn.alloc: pool has no heap"
+
+let alloc tx size ~slot =
+  let heap = heap_of tx in
+  if size <= Pmheap.Heap.small_limit then begin
+    let resv = Pmheap.Heap.reserve_small ~arena:tx.th.id heap size in
+    tx.resvs <- resv :: tx.resvs;
+    (match resv.header_write with
+    | Some (a, v) -> store tx a v
+    | None -> ());
+    let w = load tx resv.bitmap_addr in
+    store tx resv.bitmap_addr (Scm.Word.set_bit w resv.bit true);
+    store tx slot (Int64.of_int resv.addr);
+    resv.addr
+  end
+  else begin
+    (* Large blocks: allocate immediately through the heap's own log and
+       compensate on abort.  A crash between the heap's commit and this
+       transaction's commit can leak the block — the price of dlmalloc
+       fallback, see DESIGN.md. *)
+    let addr = Pmheap.Heap.pmalloc_raw heap size in
+    tx.large_allocs <- addr :: tx.large_allocs;
+    store tx slot (Int64.of_int addr);
+    addr
+  end
+
+let free_addr tx addr =
+  let heap = heap_of tx in
+  if addr = 0 then invalid_arg "Txn.free: null address";
+  match
+    List.partition (fun r -> r.Pmheap.Hoard.addr = addr) tx.resvs
+  with
+  | [ resv ], rest ->
+      (* The block was allocated earlier in this same transaction: undo
+         the transactional bit write and return the reservation. *)
+      tx.resvs <- rest;
+      let w = load tx resv.bitmap_addr in
+      store tx resv.bitmap_addr (Scm.Word.set_bit w resv.bit false);
+      Pmheap.Heap.cancel_small heap resv
+  | _ ->
+  if Pmheap.Heap.owns_small heap addr then begin
+    let word_addr, bit =
+      Pmheap.Heap.free_prepare_small heap ~load:(fun a -> load tx a) addr
+    in
+    let w = load tx word_addr in
+    store tx word_addr (Scm.Word.set_bit w bit false);
+    tx.freed_small <- addr :: tx.freed_small
+  end
+  else tx.large_frees <- addr :: tx.large_frees
+
+let free tx ~slot =
+  let addr = Int64.to_int (load tx slot) in
+  if addr = 0 then invalid_arg "Txn.free: slot holds no block";
+  free_addr tx addr;
+  store tx slot 0L
+
+(* ------------------------------------------------------------------ *)
+(* Truncation                                                          *)
+
+let flush_writes view writes =
+  let lines =
+    List.sort_uniq compare
+      (List.map (fun (a, _) -> a land lnot 63) writes)
+  in
+  List.iter (fun line -> Pmem.flush view line) lines;
+  Pmem.fence view
+
+let pending_truncations th = Queue.length th.pending_q
+
+(* The log manager "consumes the log and forces values out to memory":
+   it re-reads the record from SCM (the streamed log words were never
+   cached) to learn which addresses to flush.  That read traffic is the
+   dominant per-record cost for large transactions and is what makes
+   asynchronous truncation lose under low idle time (paper figure 6). *)
+let charge_log_read (dview : Pmem.view) writes =
+  let words = 2 + (2 * List.length writes) in
+  (* sequential scan: prefetching roughly halves the per-word miss *)
+  dview.Pmem.env.delay
+    (words * dview.Pmem.env.machine.latency.dram_read_ns / 2)
+
+let process_one_truncation th dview =
+  match Queue.take_opt th.pending_q with
+  | None -> false
+  | Some { span; writes } ->
+      charge_log_read dview writes;
+      flush_writes dview writes;
+      Pmlog.Rawl.advance_head th.log ~words:span;
+      true
+
+let process_truncations th dview =
+  let count = ref 0 in
+  while process_one_truncation th dview do
+    incr count
+  done;
+  !count
+
+let drain_truncations_blocking th =
+  while not (Queue.is_empty th.pending_q) do
+    let { span; writes } = Queue.pop th.pending_q in
+    charge_log_read th.view writes;
+    flush_writes th.view writes;
+    Pmlog.Rawl.advance_head th.log ~words:span
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Commit / abort                                                      *)
+
+let release_locks tx ~committed ~version =
+  let locks = tx.th.pool.locks in
+  List.iter
+    (fun idx ->
+      if committed then Lock_table.release_versioned locks idx ~version
+      else Lock_table.release locks idx)
+    tx.wlocks;
+  tx.wlocks <- []
+
+let rollback tx =
+  (if tx.th.pool.cfg.version_mgmt = Eager_undo && tx.undo_list <> [] then begin
+     (* restore the old values, newest write first, durably, then drop
+        the undo records *)
+     List.iter
+       (fun (addr, old) -> Pmem.store tx.th.view addr old)
+       tx.undo_list;
+     flush_writes tx.th.view tx.undo_list;
+     Pmlog.Rawl.truncate_all tx.th.log
+   end);
+  release_locks tx ~committed:false ~version:0;
+  (match tx.th.pool.heap with
+  | Some heap ->
+      List.iter (fun resv -> Pmheap.Heap.cancel_small heap resv) tx.resvs;
+      List.iter (fun addr -> Pmheap.Heap.pfree_raw heap addr) tx.large_allocs
+  | None -> ());
+  tx.th.pool.aborts <- tx.th.pool.aborts + 1
+
+let append_record tx record =
+  let rec try_append retried =
+    match Pmlog.Rawl.append tx.th.log record with
+    | Pmlog.Rawl.Appended span -> span
+    | Pmlog.Rawl.Full ->
+        if Queue.is_empty tx.th.pending_q then
+          failwith "Txn: transaction record larger than the log"
+        else begin
+          (* "If the log manager thread is unable to execute, program
+             threads may stall until there is free log space." *)
+          drain_truncations_blocking tx.th;
+          if retried > 1 then
+            failwith "Txn: log full and nothing left to truncate";
+          try_append (retried + 1)
+        end
+  in
+  try_append 0
+
+let finalize_heap_effects tx =
+  match tx.th.pool.heap with
+  | Some heap ->
+      List.iter (fun resv -> Pmheap.Heap.finalize_small heap resv) tx.resvs;
+      List.iter (fun addr -> Pmheap.Heap.free_commit_small heap addr)
+        tx.freed_small;
+      List.iter (fun addr -> Pmheap.Heap.pfree_raw heap addr) tx.large_frees
+  | None -> ()
+
+let commit_redo tx =
+  let th = tx.th in
+  let pool = th.pool in
+  let cts = Timestamp.next pool.ts th.view.Pmem.env in
+  let writes =
+    Hashtbl.fold (fun a v acc -> (a, v) :: acc) tx.wset []
+    |> List.sort compare
+  in
+  let record = Redo_log.encode ~ts:cts writes in
+  let span = append_record tx record in
+  Pmlog.Rawl.flush th.log;  (* the durability point: one fence *)
+  List.iter (fun (a, v) -> Pmem.store th.view a v) writes;
+  (match pool.cfg.truncation with
+  | Sync ->
+      flush_writes th.view writes;
+      Pmlog.Rawl.truncate_all th.log
+  | Async -> Queue.push { span; writes } th.pending_q);
+  release_locks tx ~committed:true ~version:cts
+
+let commit_undo tx =
+  let th = tx.th in
+  let pool = th.pool in
+  let cts = Timestamp.next pool.ts th.view.Pmem.env in
+  (* new values are already in place; make them durable, then the
+     atomic log truncation is the commit point *)
+  flush_writes th.view tx.undo_list;
+  Pmlog.Rawl.truncate_all th.log;
+  release_locks tx ~committed:true ~version:cts
+
+let commit tx =
+  let pool = tx.th.pool in
+  delay tx (latency tx).txn_commit_ns;
+  let read_only =
+    match pool.cfg.version_mgmt with
+    | Lazy_redo -> Hashtbl.length tx.wset = 0
+    | Eager_undo -> Hashtbl.length tx.old_vals = 0
+  in
+  if read_only then begin
+    pool.ro_commits <- pool.ro_commits + 1;
+    true
+  end
+  else if not (validate tx) then false
+  else begin
+    (match pool.cfg.version_mgmt with
+    | Lazy_redo -> commit_redo tx
+    | Eager_undo -> commit_undo tx);
+    finalize_heap_effects tx;
+    pool.commits <- pool.commits + 1;
+    true
+  end
+
+let fresh_txn th =
+  {
+    th;
+    rv = Timestamp.now th.pool.ts;
+    wset = Hashtbl.create 32;
+    old_vals = Hashtbl.create 32;
+    undo_list = [];
+    wlocks = [];
+    rset = [];
+    resvs = [];
+    freed_small = [];
+    large_allocs = [];
+    large_frees = [];
+  }
+
+let cancel (_ : t) = raise Cancelled
+
+let thread_id (tx : t) = tx.th.id
+
+let run th f =
+  match th.current with
+  | Some tx -> f tx  (* flat nesting *)
+  | None ->
+      let rec attempt n =
+        if n > th.pool.cfg.max_attempts then raise Contention;
+        th.view.Pmem.env.delay (th.view.Pmem.env.machine.latency.txn_begin_ns);
+        let tx = fresh_txn th in
+        th.current <- Some tx;
+        let finish_abort () =
+          th.current <- None;
+          rollback tx;
+          (* randomized backoff before retrying *)
+          th.view.Pmem.env.delay
+            (100 * n * (1 + Random.State.int th.rng 4));
+          attempt (n + 1)
+        in
+        match f tx with
+        | result ->
+            if try commit tx with Abort_internal -> false then begin
+              th.current <- None;
+              result
+            end
+            else finish_abort ()
+        | exception Abort_internal -> finish_abort ()
+        | exception e ->
+            th.current <- None;
+            rollback tx;
+            raise e
+      in
+      attempt 1

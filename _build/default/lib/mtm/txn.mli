@@ -1,0 +1,150 @@
+(** Durable memory transactions — libmtm (paper section 5).
+
+    A word-based software transactional memory in the TinySTM mould,
+    made durable with write-ahead redo logging into per-thread tornbit
+    RAWLs:
+
+    - {e lazy version management}: writes are buffered in a volatile
+      write set; reads check the write set first and return buffered
+      values ("memory at a variable's address still contains unmodified
+      values" during the transaction);
+    - {e encounter-time locking}: the first write to a location
+      acquires its lock from the global {!Lock_table}; hitting a lock
+      owned by another transaction aborts;
+    - {e commit}: validate the read set, take a {!Timestamp}, stream
+      the redo record to this thread's RAWL and flush it with the
+      single tornbit fence — the durability point — then write the new
+      values back and release the locks with the commit timestamp;
+    - {e truncation}: [`Sync] forces the written cache lines to SCM and
+      truncates the log inside commit; [`Async] queues the work for a
+      truncation daemon, shortening commit latency at the risk of
+      stalling when the log fills (paper figure 6);
+    - {e recovery}: at pool creation every thread log is scanned and
+      complete records are replayed in global-timestamp order.
+
+    The paper's compiler turns [atomic] blocks into calls equivalent to
+    {!load} and {!store}; here those calls are written by hand. *)
+
+type pool
+type thread
+type t  (** An executing transaction. *)
+
+type truncation = Sync | Async
+
+(** The design choice of paper section 5.  [Lazy_redo] is Mnemosyne's
+    choice: writes are buffered and logged as redo records, so "the
+    only requirement is that the log is written completely before any
+    data values are updated" — one fence per transaction.  [Eager_undo]
+    is the alternative the paper rejects: writes go to memory in place
+    and the old value is logged first, "ordering a log write before
+    every memory update" — one fence per first write to each word.
+    Implemented so the trade-off is measurable (the ablation_undo bench
+    section).  Undo commits by log truncation, so it cannot be combined
+    with [Async]. *)
+type version_mgmt = Lazy_redo | Eager_undo
+
+type config = {
+  nthreads : int;  (** Thread slots (each gets a persistent log). *)
+  log_cap_words : int;  (** Per-thread log buffer capacity. *)
+  truncation : truncation;
+  version_mgmt : version_mgmt;
+  lock_bits : int;  (** Lock table size = 2^lock_bits. *)
+  max_attempts : int;  (** Retries before [Contention] is raised. *)
+}
+
+val default_config : config
+(** 4 threads, 64 Ki-word logs, synchronous truncation, redo logging,
+    2^18 locks. *)
+
+exception Contention
+(** A transaction aborted [max_attempts] times in a row. *)
+
+exception Cancelled
+(** Raised past {!run} when the user calls {!cancel}. *)
+
+val create_pool :
+  ?config:config -> Region.Pmem.t -> Pmheap.Heap.t option -> pool
+(** Set up (or recover) the transaction system: finds each thread's log
+    region through a [pstatic] root, creating it on first run, replays
+    committed-but-unflushed transactions in timestamp order, and
+    truncates the logs. *)
+
+val recovered_txns : pool -> int
+(** Transactions replayed by recovery at pool creation. *)
+
+val config : pool -> config
+val pmem : pool -> Region.Pmem.t
+
+val thread : pool -> int -> Scm.Env.t -> thread
+(** Bind thread slot [i] to an execution environment.  Each concurrent
+    simulated thread must use its own slot. *)
+
+val run : thread -> (t -> 'a) -> 'a
+(** Execute an [atomic] block: retries on conflict (with backoff),
+    commits on normal return.  Effects on persistent memory through
+    {!load}/{!store}/{!alloc}/{!free} are atomic and durable; do not
+    perform other side effects inside.  Nested [run] on the same thread
+    is flattened into the outer transaction. *)
+
+val cancel : t -> 'a
+(** Abort the transaction without retrying; {!run} raises {!Cancelled}. *)
+
+val thread_id : t -> int
+(** Slot of the thread running this transaction; data structures use it
+    to pick per-thread shards (counters, arenas). *)
+
+(** {1 Transactional accesses} *)
+
+val load : t -> int -> int64
+val store : t -> int -> int64 -> unit
+
+val read_bytes : t -> int -> int -> Bytes.t
+(** [read_bytes tx addr len]: byte range via word loads ([addr] must be
+    8-aligned). *)
+
+val write_bytes : t -> int -> Bytes.t -> unit
+(** Write a byte range via word stores ([addr] 8-aligned; the bytes of
+    the final partial word, if any, are zero-padded). *)
+
+val alloc : t -> int -> slot:int -> int
+(** Transactional [pmalloc]: reserves a block and routes the bitmap and
+    pointer-slot writes through this transaction, so the allocation
+    commits or aborts with it.  Sizes above {!Pmheap.Heap.small_limit}
+    fall back to an immediate raw allocation compensated on abort.
+    Requires the pool to have a heap. *)
+
+val free : t -> slot:int -> unit
+(** Transactional [pfree] of the block the slot points at; clears the
+    slot. *)
+
+val free_addr : t -> int -> unit
+(** Transactional free by block address, for blocks just unlinked from
+    a structure inside this same transaction (no slot points at them
+    any more).  The caller is responsible for having removed every
+    persistent reference transactionally. *)
+
+(** {1 Asynchronous truncation} *)
+
+val pending_truncations : thread -> int
+
+val process_truncations : thread -> Region.Pmem.view -> int
+(** Daemon body: flush the data of committed transactions queued on
+    this thread's log and advance the log head past them.  Costs are
+    charged to the daemon view's environment.  Returns records
+    processed. *)
+
+val process_one_truncation : thread -> Region.Pmem.view -> bool
+(** Process a single queued record; false when the queue is empty.
+    Lets a daemon interleave its work with CPU-availability accounting
+    (the figure-6 harness). *)
+
+val drain_truncations_blocking : thread -> unit
+(** Producer-side fallback when the log is full and no daemon keeps up:
+    process this thread's own queue synchronously. *)
+
+(** {1 Statistics} *)
+
+type stats = { commits : int; aborts : int; read_only_commits : int }
+
+val stats : pool -> stats
+val reset_stats : pool -> unit

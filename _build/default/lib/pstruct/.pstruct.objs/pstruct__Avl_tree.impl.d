@@ -1,0 +1,1 @@
+lib/pstruct/avl_tree.ml: Blob Int64 Mtm

@@ -1,0 +1,1 @@
+lib/pstruct/avl_tree.mli: Bytes Mtm

@@ -1,0 +1,1 @@
+lib/pstruct/blob.ml: Bytes Int64 Mtm

@@ -1,0 +1,1 @@
+lib/pstruct/blob.mli: Bytes Mtm

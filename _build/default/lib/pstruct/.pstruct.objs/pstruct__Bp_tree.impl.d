@@ -1,0 +1,1 @@
+lib/pstruct/bp_tree.ml: Blob Int64 List Mtm Option

@@ -1,0 +1,1 @@
+lib/pstruct/bp_tree.mli: Bytes Mtm

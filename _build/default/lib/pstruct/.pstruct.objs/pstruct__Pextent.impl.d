@@ -1,0 +1,1 @@
+lib/pstruct/pextent.ml: Bytes Int64 List Region

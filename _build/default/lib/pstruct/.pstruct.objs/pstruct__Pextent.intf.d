@@ -1,0 +1,1 @@
+lib/pstruct/pextent.mli: Bytes Region

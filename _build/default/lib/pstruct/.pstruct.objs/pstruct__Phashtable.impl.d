@@ -1,0 +1,1 @@
+lib/pstruct/phashtable.ml: Bytes Char Int64 Mtm

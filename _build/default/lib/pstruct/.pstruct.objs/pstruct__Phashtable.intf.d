@@ -1,0 +1,1 @@
+lib/pstruct/phashtable.mli: Bytes Mtm

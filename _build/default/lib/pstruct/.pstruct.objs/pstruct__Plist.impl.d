@@ -1,0 +1,1 @@
+lib/pstruct/plist.ml: Blob Int64 List Mtm

@@ -1,0 +1,1 @@
+lib/pstruct/plist.mli: Bytes Mtm

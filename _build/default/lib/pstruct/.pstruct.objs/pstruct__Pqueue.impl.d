@@ -1,0 +1,1 @@
+lib/pstruct/pqueue.ml: Blob Int64 Mtm

@@ -1,0 +1,1 @@
+lib/pstruct/pqueue.mli: Bytes Mtm

@@ -1,0 +1,1 @@
+lib/pstruct/rb_tree.ml: Bytes Int64 Mtm

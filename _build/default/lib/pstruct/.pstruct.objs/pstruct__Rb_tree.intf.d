@@ -1,0 +1,1 @@
+lib/pstruct/rb_tree.mli: Bytes Mtm

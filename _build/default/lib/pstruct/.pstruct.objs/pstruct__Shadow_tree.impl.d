@@ -1,0 +1,1 @@
+lib/pstruct/shadow_tree.ml: Array Bytes Fun Int64 List Region

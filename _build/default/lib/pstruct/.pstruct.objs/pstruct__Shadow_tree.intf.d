@@ -1,0 +1,1 @@
+lib/pstruct/shadow_tree.mli: Bytes Region

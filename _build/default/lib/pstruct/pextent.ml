@@ -1,0 +1,80 @@
+module Pmem = Region.Pmem
+
+(* Header (32 bytes): [magic] [len] [tail | records<<40].
+   Tail and record count share a word so one atomic write publishes an
+   append.  Records: [byte length][bytes, zero-padded to 8]. *)
+
+let magic = 0x455854L
+let header_bytes = 32
+
+type t = { v : Pmem.view; base : int; len : int }
+
+let pub_addr t = t.base + 16
+let data_base t = t.base + header_bytes
+
+let align8 n = (n + 7) land lnot 7
+
+let pack_pub ~tail ~records =
+  Int64.logor (Int64.of_int tail)
+    (Int64.shift_left (Int64.of_int records) 40)
+
+let unpack_pub w =
+  ( Int64.to_int (Int64.logand w 0xff_ffff_ffffL),
+    Int64.to_int (Int64.shift_right_logical w 40) )
+
+let published t = unpack_pub (Pmem.load t.v (pub_addr t))
+
+let create v ~base ~len =
+  if len <= header_bytes + 16 then invalid_arg "Pextent.create: length";
+  let t = { v; base; len = len - header_bytes } in
+  Pmem.wtstore v (base + 8) (Int64.of_int t.len);
+  Pmem.wtstore v (pub_addr t) (pack_pub ~tail:0 ~records:0);
+  Pmem.fence v;
+  Pmem.wtstore v base magic;
+  Pmem.fence v;
+  t
+
+let attach v ~base =
+  if Pmem.load v base <> magic then
+    invalid_arg "Pextent.attach: no extent at this address";
+  { v; base; len = Int64.to_int (Pmem.load v (base + 8)) }
+
+let used_bytes t = fst (published t)
+let records t = snd (published t)
+
+let append t b =
+  let tail, count = published t in
+  let need = 8 + align8 (Bytes.length b) in
+  if tail + need > t.len then failwith "Pextent: full";
+  let a = data_base t + tail in
+  (* the individual stores of an append are unordered (table 2) *)
+  Pmem.wtstore t.v a (Int64.of_int (Bytes.length b));
+  let padded = Bytes.make (align8 (Bytes.length b)) '\000' in
+  Bytes.blit b 0 padded 0 (Bytes.length b);
+  if Bytes.length padded > 0 then
+    Pmem.wtstore_bytes t.v (a + 8) padded 0 (Bytes.length padded);
+  Pmem.fence t.v;
+  (* separate appends complete in order: the tail publishes this one *)
+  Pmem.wtstore t.v (pub_addr t) (pack_pub ~tail:(tail + need) ~records:(count + 1));
+  Pmem.fence t.v
+
+let iter t f =
+  let tail, _ = published t in
+  let pos = ref 0 in
+  while !pos < tail do
+    let a = data_base t + !pos in
+    let len = Int64.to_int (Pmem.load t.v a) in
+    let b = Bytes.create len in
+    Pmem.load_bytes t.v (a + 8) b 0 len;
+    f b;
+    pos := !pos + 8 + align8 len
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun b -> acc := b :: !acc);
+  List.rev !acc
+
+let reset t =
+  Pmem.wtstore t.v (pub_addr t) (pack_pub ~tail:0 ~records:0);
+  Pmem.fence t.v

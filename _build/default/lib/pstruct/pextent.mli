@@ -1,0 +1,29 @@
+(** A persistent append-only extent — the {e append update} mechanism of
+    paper table 2 in its simplest form ("log, extent").
+
+    Length-prefixed records are written into free space beyond the
+    current tail (stores unordered), fenced, and then the tail pointer
+    advances with one atomic word write.  "After a failure, an
+    incomplete append (there can be only one) is discarded" — the tail
+    never covered it.  Unlike {!Pmlog.Rawl}, the extent does not wrap:
+    it is the persistent analogue of an append-only file, truncatable
+    only as a whole. *)
+
+type t
+
+val create : Region.Pmem.view -> base:int -> len:int -> t
+(** Format an extent over [len] bytes of fresh persistent memory. *)
+
+val attach : Region.Pmem.view -> base:int -> t
+(** Reattach; the tail word alone defines the durable contents. *)
+
+val append : t -> Bytes.t -> unit
+(** Durable on return (one fence for the data, one for the tail).
+    Raises [Failure] when the extent is full. *)
+
+val iter : t -> (Bytes.t -> unit) -> unit
+val to_list : t -> Bytes.t list
+val records : t -> int
+val used_bytes : t -> int
+val reset : t -> unit
+(** Drop everything: tail back to zero, atomically. *)

@@ -1,0 +1,67 @@
+module Txn = Mtm.Txn
+
+(* Header: [magic] [count] [head] [tail] [scratch].
+   Node: [next] [value blob addr]. *)
+
+let magic = 0x5051L
+
+type t = { hdr : int }
+
+let root t = t.hdr
+let count_addr t = t.hdr + 8
+let head_addr t = t.hdr + 16
+let tail_addr t = t.hdr + 24
+
+let create tx ~slot =
+  let hdr = Txn.alloc tx 40 ~slot in
+  Txn.store tx hdr magic;
+  Txn.store tx (hdr + 8) 0L;
+  Txn.store tx (hdr + 16) 0L;
+  Txn.store tx (hdr + 24) 0L;
+  Txn.store tx (hdr + 32) 0L;
+  { hdr }
+
+let attach tx ~root =
+  if Txn.load tx root <> magic then
+    invalid_arg "Pqueue.attach: no queue at this address";
+  { hdr = root }
+
+let push tx t value =
+  let tail = Int64.to_int (Txn.load tx (tail_addr t)) in
+  (* link the fresh node from the predecessor's next field (or the head
+     when empty) so the allocation's pointer slot is the real link *)
+  let link_slot = if tail = 0 then head_addr t else tail in
+  let node = Txn.alloc tx 16 ~slot:link_slot in
+  Txn.store tx node 0L;
+  ignore (Blob.alloc tx ~slot:(node + 8) value);
+  Txn.store tx (tail_addr t) (Int64.of_int node);
+  Txn.store tx (count_addr t) (Int64.add (Txn.load tx (count_addr t)) 1L)
+
+let pop tx t =
+  match Int64.to_int (Txn.load tx (head_addr t)) with
+  | 0 -> None
+  | node ->
+      let value = Blob.read tx (Int64.to_int (Txn.load tx (node + 8))) in
+      let next = Txn.load tx node in
+      Txn.store tx (head_addr t) next;
+      if next = 0L then Txn.store tx (tail_addr t) 0L;
+      Blob.free tx ~slot:(node + 8);
+      Txn.free_addr tx node;
+      Txn.store tx (count_addr t) (Int64.sub (Txn.load tx (count_addr t)) 1L);
+      Some value
+
+let peek tx t =
+  match Int64.to_int (Txn.load tx (head_addr t)) with
+  | 0 -> None
+  | node -> Some (Blob.read tx (Int64.to_int (Txn.load tx (node + 8))))
+
+let length tx t = Int64.to_int (Txn.load tx (count_addr t))
+
+let iter tx t f =
+  let rec walk node =
+    if node <> 0 then begin
+      f (Blob.read tx (Int64.to_int (Txn.load tx (node + 8))));
+      walk (Int64.to_int (Txn.load tx node))
+    end
+  in
+  walk (Int64.to_int (Txn.load tx (head_addr t)))

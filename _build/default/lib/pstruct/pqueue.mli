@@ -1,0 +1,25 @@
+(** A persistent FIFO queue under durable transactions.
+
+    The work-queue shape of the paper's motivation ("logs, such as in
+    distributed agreement protocols"): producers push at the tail,
+    consumers pop at the head, each operation one atomic durable
+    transaction.  Unlike {!Pextent}/{!Pmlog.Rawl} the queue is a linked
+    structure in the persistent heap, so items are individually
+    allocated and freed and there is no fixed capacity. *)
+
+type t
+
+val create : Mtm.Txn.t -> slot:int -> t
+val attach : Mtm.Txn.t -> root:int -> t
+val root : t -> int
+
+val push : Mtm.Txn.t -> t -> Bytes.t -> unit
+(** Enqueue at the tail. *)
+
+val pop : Mtm.Txn.t -> t -> Bytes.t option
+(** Dequeue from the head. *)
+
+val peek : Mtm.Txn.t -> t -> Bytes.t option
+val length : Mtm.Txn.t -> t -> int
+val iter : Mtm.Txn.t -> t -> (Bytes.t -> unit) -> unit
+(** Head (oldest) to tail (newest). *)

@@ -1,0 +1,1 @@
+lib/region/backing_store.ml: Array Bytes Filename Fun Hashtbl List Printf String Sys Unix

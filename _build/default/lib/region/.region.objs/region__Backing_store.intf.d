@@ -1,0 +1,1 @@
+lib/region/backing_store.mli: Bytes

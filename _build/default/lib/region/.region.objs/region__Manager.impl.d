@@ -1,0 +1,1 @@
+lib/region/manager.ml: Backing_store Bytes Hashtbl List Mapping_table Queue Random Scm

@@ -1,0 +1,1 @@
+lib/region/manager.mli: Backing_store Scm

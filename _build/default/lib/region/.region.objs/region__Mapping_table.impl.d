@@ -1,0 +1,1 @@
+lib/region/mapping_table.ml: Int64 Layout Scm

@@ -1,0 +1,1 @@
+lib/region/mapping_table.mli: Scm

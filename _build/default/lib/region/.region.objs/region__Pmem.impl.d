@@ -1,0 +1,1 @@
+lib/region/pmem.ml: Backing_store Hashtbl Int64 Layout List Manager Printf Scm

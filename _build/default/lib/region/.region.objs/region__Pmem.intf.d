@@ -1,0 +1,1 @@
+lib/region/pmem.mli: Backing_store Bytes Manager Scm

@@ -1,0 +1,1 @@
+lib/region/pstatic.ml: Bytes Char Int64 Layout Pmem Printf Scm String

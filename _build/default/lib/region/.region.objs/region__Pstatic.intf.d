@@ -1,0 +1,1 @@
+lib/region/pstatic.mli: Pmem

@@ -1,0 +1,59 @@
+type t = { dev : Scm.Scm_device.t; nframes : int }
+
+open struct
+  module Scm_device = Scm.Scm_device
+  module Primitives = Scm.Primitives
+end
+
+let entry_bytes = 16
+
+let frames_for ~nframes =
+  let bytes = nframes * entry_bytes in
+  (bytes + Layout.page_size - 1) / Layout.page_size
+
+let create dev = { dev; nframes = Scm_device.nframes dev }
+
+let inode_addr frame = frame * entry_bytes
+let off_addr frame = (frame * entry_bytes) + 8
+
+let format t dev =
+  let reserved = frames_for ~nframes:t.nframes in
+  for f = 0 to t.nframes - 1 do
+    if f < reserved then begin
+      Scm_device.store64 dev (inode_addr f) (-1L);
+      Scm_device.store64 dev (off_addr f) 0L
+    end
+    else begin
+      Scm_device.store64 dev (inode_addr f) 0L;
+      Scm_device.store64 dev (off_addr f) 0L
+    end
+  done
+
+type entry = Free | Reserved | Mapped of { inode : int; page_off : int }
+
+let get t frame =
+  match Scm_device.load64 t.dev (inode_addr frame) with
+  | 0L -> Free
+  | -1L -> Reserved
+  | inode ->
+      Mapped
+        {
+          inode = Int64.to_int inode;
+          page_off = Int64.to_int (Scm_device.load64 t.dev (off_addr frame));
+        }
+
+let set_mapped (_ : t) env ~frame ~inode ~page_off =
+  (* Offset first, inode last: a torn entry (offset landed, inode did
+     not) still reads as Free. *)
+  Primitives.wtstore env (off_addr frame) (Int64.of_int page_off);
+  Primitives.wtstore env (inode_addr frame) (Int64.of_int inode);
+  Primitives.fence env
+
+let set_free (_ : t) env ~frame =
+  Primitives.wtstore env (inode_addr frame) 0L;
+  Primitives.fence env
+
+let iter t f =
+  for frame = 0 to t.nframes - 1 do
+    f frame (get t frame)
+  done

@@ -1,0 +1,42 @@
+(** The persistent mapping table, "stored at the base of physical SCM"
+    (paper section 4.2).
+
+    One entry per SCM frame, recording the triple
+    [<scm_frame, page_offset, inode>] that associates the frame with a
+    page of a backing file.  The region manager scans this table when
+    the OS boots to reconstruct all persistent mappings and free-list
+    the unmapped frames.
+
+    Entries are two 64-bit words: the inode word (0 = free,
+    -1 = reserved for the table itself) and the page-offset word.  Each
+    word is written atomically; an entry update writes the offset word
+    first and the inode word last, so a torn entry is never interpreted
+    as a valid mapping. *)
+
+type t
+
+val frames_for : nframes:int -> int
+(** Number of frames at the base of SCM the table itself occupies. *)
+
+val create : Scm.Scm_device.t -> t
+(** View the table of an existing (possibly just formatted) device. *)
+
+val format : t -> Scm.Scm_device.t -> unit
+(** Initialize: mark the table's own frames reserved, all others free.
+    Device writes are direct (the "kernel" formats before any cache
+    exists). *)
+
+type entry = Free | Reserved | Mapped of { inode : int; page_off : int }
+
+val get : t -> int -> entry
+(** Read the entry for a frame directly from the device (boot-time
+    scan path). *)
+
+val set_mapped : t -> Scm.Env.t -> frame:int -> inode:int -> page_off:int -> unit
+(** Durably record a mapping (write-through + fence, charged to the
+    calling thread's environment). *)
+
+val set_free : t -> Scm.Env.t -> frame:int -> unit
+
+val iter : t -> (int -> entry -> unit) -> unit
+(** Boot-time scan over all frames. *)

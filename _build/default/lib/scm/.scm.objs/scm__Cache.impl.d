@@ -1,0 +1,1 @@
+lib/scm/cache.ml: Array Bytes Hashtbl List Random Scm_device Word

@@ -1,0 +1,1 @@
+lib/scm/cache.mli: Bytes Scm_device

@@ -1,0 +1,1 @@
+lib/scm/crash.ml: Cache Env List Random Wc_buffer

@@ -1,0 +1,1 @@
+lib/scm/crash.mli: Env

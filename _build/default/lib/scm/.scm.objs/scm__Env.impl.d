@@ -1,0 +1,1 @@
+lib/scm/env.ml: Cache Latency_model Random Scm_device Wc_buffer

@@ -1,0 +1,1 @@
+lib/scm/env.mli: Cache Latency_model Random Scm_device Wc_buffer

@@ -1,0 +1,1 @@
+lib/scm/primitives.ml: Bytes Cache Env Latency_model Wc_buffer Word

@@ -1,0 +1,1 @@
+lib/scm/primitives.mli: Bytes Env

@@ -1,0 +1,1 @@
+lib/scm/scm_device.ml: Array Bytes Fun Printf String Word

@@ -1,0 +1,1 @@
+lib/scm/scm_device.mli: Bytes

@@ -1,0 +1,1 @@
+lib/scm/wc_buffer.ml: Array Hashtbl Option Printf Queue Random Scm_device Word

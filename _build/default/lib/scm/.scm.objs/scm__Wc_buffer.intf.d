@@ -1,0 +1,1 @@
+lib/scm/wc_buffer.mli: Random Scm_device

@@ -1,0 +1,1 @@
+lib/scm/word.ml: Bytes Char Int64 String

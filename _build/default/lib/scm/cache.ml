@@ -1,0 +1,151 @@
+type line = { data : Bytes.t; mutable dirty : bool }
+
+type t = {
+  dev : Scm_device.t;
+  line_size : int;
+  capacity : int;
+  lines : (int, line) Hashtbl.t;
+  rng : Random.State.t;
+  mutable evictions : int;
+  (* Dense array of resident line addresses for O(1) random victim
+     selection; [index] maps line address to its slot in [members]. *)
+  mutable members : int array;
+  mutable nmembers : int;
+  index : (int, int) Hashtbl.t;
+}
+
+let create ?(line_size = 64) ?(capacity_lines = 8192) ?(seed = 0xcafe) dev =
+  if line_size <= 0 || line_size land 7 <> 0 then
+    invalid_arg "Cache.create: line_size";
+  {
+    dev;
+    line_size;
+    capacity = capacity_lines;
+    lines = Hashtbl.create (2 * capacity_lines);
+    rng = Random.State.make [| seed |];
+    evictions = 0;
+    members = Array.make (max 16 capacity_lines) (-1);
+    nmembers = 0;
+    index = Hashtbl.create (2 * capacity_lines);
+  }
+
+let line_size t = t.line_size
+let line_base t addr = addr - (addr mod t.line_size)
+
+let member_add t base =
+  if t.nmembers = Array.length t.members then begin
+    let bigger = Array.make (2 * t.nmembers) (-1) in
+    Array.blit t.members 0 bigger 0 t.nmembers;
+    t.members <- bigger
+  end;
+  t.members.(t.nmembers) <- base;
+  Hashtbl.replace t.index base t.nmembers;
+  t.nmembers <- t.nmembers + 1
+
+let member_remove t base =
+  match Hashtbl.find_opt t.index base with
+  | None -> ()
+  | Some slot ->
+      let last = t.nmembers - 1 in
+      let moved = t.members.(last) in
+      t.members.(slot) <- moved;
+      Hashtbl.replace t.index moved slot;
+      t.nmembers <- last;
+      Hashtbl.remove t.index base
+
+let write_back t base line =
+  Scm_device.write_from t.dev base line.data 0 t.line_size;
+  line.dirty <- false
+
+let remove_line t base =
+  Hashtbl.remove t.lines base;
+  member_remove t base
+
+let evict_one t =
+  if t.nmembers > 0 then begin
+    let victim = t.members.(Random.State.int t.rng t.nmembers) in
+    (match Hashtbl.find_opt t.lines victim with
+    | Some line when line.dirty -> write_back t victim line
+    | Some _ | None -> ());
+    remove_line t victim;
+    t.evictions <- t.evictions + 1
+  end
+
+let get_line t addr =
+  let base = line_base t addr in
+  match Hashtbl.find_opt t.lines base with
+  | Some line -> (base, line)
+  | None ->
+      if Hashtbl.length t.lines >= t.capacity then evict_one t;
+      let data = Bytes.create t.line_size in
+      Scm_device.read_into t.dev base data 0 t.line_size;
+      let line = { data; dirty = false } in
+      Hashtbl.replace t.lines base line;
+      member_add t base;
+      (base, line)
+
+let read_word t addr =
+  let base, line = get_line t addr in
+  Word.get line.data (addr - base)
+
+let write_word t addr v =
+  let base, line = get_line t addr in
+  Word.set line.data (addr - base) v;
+  line.dirty <- true
+
+let rec read_into t addr buf off len =
+  if len > 0 then begin
+    let base, line = get_line t addr in
+    let within = addr - base in
+    let n = min len (t.line_size - within) in
+    Bytes.blit line.data within buf off n;
+    read_into t (addr + n) buf (off + n) (len - n)
+  end
+
+let rec write_from t addr buf off len =
+  if len > 0 then begin
+    let base, line = get_line t addr in
+    let within = addr - base in
+    let n = min len (t.line_size - within) in
+    Bytes.blit buf off line.data within n;
+    line.dirty <- true;
+    write_from t (addr + n) buf (off + n) (len - n)
+  end
+
+let flush_line t addr =
+  let base = line_base t addr in
+  match Hashtbl.find_opt t.lines base with
+  | None -> false
+  | Some line ->
+      let was_dirty = line.dirty in
+      if was_dirty then write_back t base line;
+      remove_line t base;
+      was_dirty
+
+let invalidate_line t addr =
+  let base = line_base t addr in
+  if Hashtbl.mem t.lines base then remove_line t base
+
+let is_dirty t addr =
+  match Hashtbl.find_opt t.lines (line_base t addr) with
+  | Some line -> line.dirty
+  | None -> false
+
+let dirty_lines t =
+  Hashtbl.fold (fun base line acc -> if line.dirty then base :: acc else acc)
+    t.lines []
+  |> List.sort compare
+
+let resident_lines t = Hashtbl.length t.lines
+let evictions t = t.evictions
+
+let writeback_line t addr =
+  let base = line_base t addr in
+  match Hashtbl.find_opt t.lines base with
+  | Some line when line.dirty -> write_back t base line
+  | Some _ | None -> ()
+
+let drop_all t =
+  Hashtbl.reset t.lines;
+  Hashtbl.reset t.index;
+  t.nmembers <- 0

@@ -1,0 +1,39 @@
+type cache_policy = Drop_dirty | Evict_random of float | Writeback_all
+type wc_policy = Wc_drop | Wc_random_subset | Wc_apply_all
+
+type policy = { cache : cache_policy; wc : wc_policy }
+
+let default = { cache = Evict_random 0.3; wc = Wc_random_subset }
+
+let inject ?(policy = default) (m : Env.machine) =
+  let rng = m.crash_rng in
+  (* Streaming stores race with cache write-backs; interleave arbitrarily
+     by doing WC first or last at random.  Since both act on disjoint
+     word sets in well-formed programs this only matters for adversarial
+     tests, where either order is legal. *)
+  let apply_wc () =
+    List.iter
+      (fun wc ->
+        match policy.wc with
+        | Wc_drop -> Wc_buffer.discard wc
+        | Wc_apply_all -> Wc_buffer.drain wc
+        | Wc_random_subset -> ignore (Wc_buffer.crash_apply_subset wc rng))
+      m.wc_buffers
+  in
+  let apply_cache () =
+    (match policy.cache with
+    | Drop_dirty -> ()
+    | Writeback_all ->
+        List.iter (fun a -> Cache.writeback_line m.cache a)
+          (Cache.dirty_lines m.cache)
+    | Evict_random p ->
+        List.iter
+          (fun a ->
+            if Random.State.float rng 1.0 < p then
+              Cache.writeback_line m.cache a)
+          (Cache.dirty_lines m.cache));
+    Cache.drop_all m.cache
+  in
+  if Random.State.bool rng then (apply_wc (); apply_cache ())
+  else (apply_cache (); apply_wc ());
+  m.wc_buffers <- []

@@ -1,0 +1,58 @@
+type machine = {
+  dev : Scm_device.t;
+  cache : Cache.t;
+  latency : Latency_model.t;
+  crash_rng : Random.State.t;
+  mutable wc_buffers : Wc_buffer.t list;
+  mutable media_busy_until : int;
+}
+
+type t = {
+  machine : machine;
+  wc : Wc_buffer.t;
+  delay : int -> unit;
+  now : unit -> int;
+}
+
+let make_machine ?(latency = Latency_model.default) ?cache_capacity_lines
+    ?(seed = 42) ~nframes () =
+  let dev = Scm_device.create ~nframes () in
+  let cache = Cache.create ?capacity_lines:cache_capacity_lines ~seed dev in
+  {
+    dev;
+    cache;
+    latency;
+    crash_rng = Random.State.make [| seed; 0x5eed |];
+    wc_buffers = [];
+    media_busy_until = 0;
+  }
+
+let machine_of_device ?(latency = Latency_model.default) ?cache_capacity_lines
+    ?(seed = 42) dev =
+  let cache = Cache.create ?capacity_lines:cache_capacity_lines ~seed dev in
+  {
+    dev;
+    cache;
+    latency;
+    crash_rng = Random.State.make [| seed; 0x5eed |];
+    wc_buffers = [];
+    media_busy_until = 0;
+  }
+
+let attach_wc machine =
+  let wc = Wc_buffer.create machine.dev in
+  machine.wc_buffers <- wc :: machine.wc_buffers;
+  wc
+
+let standalone machine =
+  let clock = ref 0 in
+  {
+    machine;
+    wc = attach_wc machine;
+    delay = (fun ns -> clock := !clock + ns);
+    now = (fun () -> !clock);
+  }
+
+let view machine ~delay ~now = { machine; wc = attach_wc machine; delay; now }
+
+let elapsed_ns t = t.now ()

@@ -1,0 +1,61 @@
+(** Execution environment: the handle through which one simulated thread
+    touches storage-class memory.
+
+    An environment bundles the shared machine state (device, cache,
+    latency model) with per-thread state (write-combining buffer, a
+    simulated clock).  In standalone use the clock is a plain counter;
+    under the discrete-event simulator each thread's [delay] yields to
+    the scheduler, so contention interleavings happen at memory
+    operations — where they happen on real hardware. *)
+
+type machine = {
+  dev : Scm_device.t;
+  cache : Cache.t;
+  latency : Latency_model.t;
+  crash_rng : Random.State.t;
+      (** Randomness for crash injection and cache eviction decisions,
+          seeded for reproducibility. *)
+  mutable wc_buffers : Wc_buffer.t list;
+      (** Every live write-combining buffer; crash injection must see
+          them all. *)
+  mutable media_busy_until : int;
+      (** The single memory controller's occupancy horizon: PCM media
+          writes from different threads serialize here, so a background
+          flusher genuinely steals bandwidth from the foreground thread
+          (the effect behind paper figure 6's low-idle slowdown). *)
+}
+
+type t = {
+  machine : machine;
+  wc : Wc_buffer.t;
+  delay : int -> unit;   (** Charge simulated nanoseconds. *)
+  now : unit -> int;     (** Current simulated time. *)
+}
+
+val make_machine :
+  ?latency:Latency_model.t ->
+  ?cache_capacity_lines:int ->
+  ?seed:int ->
+  nframes:int ->
+  unit ->
+  machine
+(** Build a machine: device of [nframes] 4-KiB frames plus cache. *)
+
+val machine_of_device :
+  ?latency:Latency_model.t ->
+  ?cache_capacity_lines:int ->
+  ?seed:int ->
+  Scm_device.t ->
+  machine
+(** Wrap an existing device (e.g. one reloaded from a crash image) in
+    fresh volatile machine state. *)
+
+val standalone : machine -> t
+(** An environment with its own private clock starting at 0. *)
+
+val view : machine -> delay:(int -> unit) -> now:(unit -> int) -> t
+(** A per-thread view with caller-supplied time accounting (the DES
+    integration point). *)
+
+val elapsed_ns : t -> int
+(** Shorthand for [t.now ()]. *)

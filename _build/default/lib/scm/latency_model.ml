@@ -1,0 +1,60 @@
+type t = {
+  pcm_write_ns : int;
+  write_bandwidth_bytes_per_us : int;
+  media_banks : int;
+  cache_hit_ns : int;
+  dram_read_ns : int;
+  fence_base_ns : int;
+  wc_post_ns : int;
+  bit_pack_ns_per_word : int;
+  stm_access_ns : int;
+  txn_begin_ns : int;
+  txn_commit_ns : int;
+  timestamp_ns : int;
+}
+
+let default =
+  {
+    pcm_write_ns = 150;
+    write_bandwidth_bytes_per_us = 4096;
+    media_banks = 4;
+    cache_hit_ns = 2;
+    dram_read_ns = 60;
+    fence_base_ns = 25;
+    wc_post_ns = 3;
+    bit_pack_ns_per_word = 1;
+    stm_access_ns = 35;
+    txn_begin_ns = 80;
+    txn_commit_ns = 120;
+    timestamp_ns = 15;
+  }
+
+let with_pcm_write_ns m ns = { m with pcm_write_ns = ns }
+
+let streaming_write_ns m bytes =
+  if bytes = 0 then 0
+  else
+    let transfer = bytes * 1000 / m.write_bandwidth_bytes_per_us in
+    max m.pcm_write_ns transfer
+
+type technology = {
+  name : string;
+  availability : string;
+  read_latency : string;
+  write_latency : string;
+  endurance : string;
+}
+
+let technologies =
+  [
+    { name = "DRAM"; availability = "today"; read_latency = "60 ns";
+      write_latency = "60 ns"; endurance = "> 10^16" };
+    { name = "NAND Flash"; availability = "today"; read_latency = "25 us";
+      write_latency = "200-500 us"; endurance = "10^4 - 10^5" };
+    { name = "PCM"; availability = "today"; read_latency = "115 ns";
+      write_latency = "120 us"; endurance = "10^8" };
+    { name = "PCM"; availability = "prospective"; read_latency = "50-85 ns";
+      write_latency = "150-1000 ns"; endurance = "10^8 - 10^12" };
+    { name = "STT-RAM"; availability = "prospective"; read_latency = "6 ns";
+      write_latency = "13 ns"; endurance = "10^15" };
+  ]

@@ -1,0 +1,70 @@
+(** Performance model of the memory system, mirroring the paper's
+    DRAM-based emulator (section 6.1).
+
+    The original emulator inserted TSC-spin delays after writes, flushes
+    and fences to account for the extra latency of PCM relative to DRAM,
+    and limited the effective bandwidth of streaming (write-combined)
+    stores.  We charge the same delays to a simulated clock.  All times
+    are integer nanoseconds. *)
+
+type t = {
+  pcm_write_ns : int;
+      (** Extra write latency of PCM over DRAM, charged per cache line
+          written back ([flush]) and as the floor of a fence drain.
+          The paper's default is 150 ns; figure 7 sweeps 150/1000/2000. *)
+  write_bandwidth_bytes_per_us : int;
+      (** Effective streaming-write bandwidth.  The paper limits
+          write-through sequences to 4 GB/s (= 4096 bytes/us), based on
+          Numonyx projections. *)
+  media_banks : int;
+      (** Device-level parallelism: concurrent threads' media writes
+          serialize at the controller for only 1/banks of their cost;
+          the rest overlaps in independent banks.  Single-threaded
+          latencies are unaffected. *)
+  cache_hit_ns : int;  (** Cost of a load or store that hits the cache. *)
+  dram_read_ns : int;
+      (** Cost of a load that misses the cache.  The paper's emulator
+          does not penalize loads with PCM latency, and neither do we. *)
+  fence_base_ns : int;
+      (** Fixed cost of an [mfence] with empty write-combining buffers. *)
+  wc_post_ns : int;  (** Cost of posting one streaming store. *)
+  bit_pack_ns_per_word : int;
+      (** CPU cost of the tornbit bit-stream manipulation, per 64-bit
+          word.  This is what makes the tornbit RAWL lose to a commit
+          record for records over ~2 KB (table 6). *)
+  stm_access_ns : int;
+      (** Software overhead of one instrumented transactional load or
+          store (the "function call on every load and store" of
+          section 6.3). *)
+  txn_begin_ns : int;  (** Fixed cost of starting a transaction. *)
+  txn_commit_ns : int; (** Fixed software cost of committing. *)
+  timestamp_ns : int;
+      (** Cost of bumping the global timestamp counter, charged once per
+          commit and scaled by the number of active threads to model
+          cache-line contention on the shared counter. *)
+}
+
+val default : t
+(** The paper's evaluation platform: 150 ns extra write latency,
+    4 GB/s write bandwidth. *)
+
+val with_pcm_write_ns : t -> int -> t
+(** [with_pcm_write_ns m ns] is [m] with the PCM write latency replaced;
+    used by the figure-7 sensitivity sweep. *)
+
+val streaming_write_ns : t -> int -> int
+(** [streaming_write_ns m bytes] is the time for [bytes] of pending
+    streaming writes to drain to SCM: the bandwidth-limited transfer
+    time, floored at one PCM write latency. *)
+
+(** One row of the paper's table 1: published device characteristics. *)
+type technology = {
+  name : string;
+  availability : string;  (** "today" or "prospective" *)
+  read_latency : string;
+  write_latency : string;
+  endurance : string;
+}
+
+val technologies : technology list
+(** The contents of table 1, reproduced for the [table1] bench section. *)

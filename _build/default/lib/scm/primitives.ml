@@ -1,0 +1,106 @@
+(* A cached access to a line with pending streaming stores would refill
+   the line from stale device contents; real write-combining buffers may
+   flush spontaneously, so model exactly that and drain first. *)
+let drain_if_pending (env : Env.t) addr =
+  if Wc_buffer.pending_in_line env.wc addr then Wc_buffer.drain env.wc
+
+let load (env : Env.t) addr =
+  env.delay env.machine.latency.cache_hit_ns;
+  match Wc_buffer.lookup env.wc addr with
+  | Some v -> v
+  | None ->
+      drain_if_pending env addr;
+      Cache.read_word env.machine.cache addr
+
+let store (env : Env.t) addr v =
+  env.delay env.machine.latency.cache_hit_ns;
+  drain_if_pending env addr;
+  Cache.write_word env.machine.cache addr v
+
+let wtstore (env : Env.t) addr v =
+  env.delay env.machine.latency.wc_post_ns;
+  (* movnt bypasses the cache; make sure a dirty cached copy of the line
+     does not later overwrite the streamed data, and that subsequent
+     cached loads do not see stale data. *)
+  let cache = env.machine.cache in
+  if Cache.is_dirty cache addr then Cache.writeback_line cache addr;
+  Cache.invalidate_line cache addr;
+  Wc_buffer.post env.wc addr v
+
+(* PCM media writes pass through the single memory controller: a
+   1/banks share of each write's cost serializes against other threads
+   (the controller/bus slot); the rest is bank-parallel device time
+   charged privately.  A single-threaded caller sees exactly the full
+   cost; concurrent flushers delay each other by the serialized share —
+   the effect behind paper figure 6's low-idle slowdown. *)
+let media_write (env : Env.t) cost_ns =
+  let m = env.machine in
+  let occupancy = cost_ns / max 1 m.latency.media_banks in
+  let now = env.now () in
+  let start = max now m.media_busy_until in
+  let finish = start + occupancy in
+  m.media_busy_until <- finish;
+  env.delay (finish - now + (cost_ns - occupancy))
+
+let flush (env : Env.t) addr =
+  let wrote = Cache.flush_line env.machine.cache addr in
+  if wrote then media_write env env.machine.latency.pcm_write_ns
+  else env.delay env.machine.latency.cache_hit_ns
+
+let fence (env : Env.t) =
+  let lat = env.machine.latency in
+  let bytes = Wc_buffer.pending_bytes env.wc in
+  Wc_buffer.drain env.wc;
+  env.delay lat.fence_base_ns;
+  if bytes > 0 then media_write env (Latency_model.streaming_write_ns lat bytes)
+
+let load_bytes (env : Env.t) addr buf off len =
+  (* Go word by word so pending streaming stores are forwarded. *)
+  let i = ref 0 in
+  while !i < len do
+    let a = addr + !i in
+    let word_base = a land lnot 7 in
+    let within = a - word_base in
+    let n = min (8 - within) (len - !i) in
+    let w = load env word_base in
+    let tmp = Bytes.create 8 in
+    Word.set tmp 0 w;
+    Bytes.blit tmp within buf (off + !i) n;
+    i := !i + n
+  done
+
+let store_bytes (env : Env.t) addr buf off len =
+  env.delay (env.machine.latency.cache_hit_ns * Word.words_for_bytes len);
+  if Wc_buffer.pending_words env.wc > 0 then begin
+    (* Any overlap between the range and pending streaming stores
+       triggers a spontaneous drain, as in [store]. *)
+    let a = ref (addr land lnot 63) in
+    let overlap = ref false in
+    while (not !overlap) && !a < addr + len do
+      if Wc_buffer.pending_in_line env.wc !a then overlap := true;
+      a := !a + 64
+    done;
+    if !overlap then Wc_buffer.drain env.wc
+  end;
+  Cache.write_from env.machine.cache addr buf off len
+
+let wtstore_bytes (env : Env.t) addr buf off len =
+  if not (Word.is_aligned addr) || len land 7 <> 0 then
+    invalid_arg "Primitives.wtstore_bytes: alignment";
+  let nwords = len / 8 in
+  for i = 0 to nwords - 1 do
+    wtstore env (addr + (8 * i)) (Word.get buf (off + (8 * i)))
+  done
+
+let persist (env : Env.t) addr len =
+  if len > 0 then begin
+    let line = Cache.line_size env.machine.cache in
+    let first = Cache.line_base env.machine.cache addr in
+    let last = Cache.line_base env.machine.cache (addr + len - 1) in
+    let a = ref first in
+    while !a <= last do
+      flush env !a;
+      a := !a + line
+    done;
+    fence env
+  end

@@ -1,0 +1,96 @@
+type t = {
+  arena : Bytes.t;
+  frame_size : int;
+  nframes : int;
+  writes : int array;  (* per-frame wear counters *)
+  mutable total_writes : int;
+}
+
+let create ?(frame_size = 4096) ~nframes () =
+  if nframes <= 0 then invalid_arg "Scm_device.create: nframes";
+  if frame_size <= 0 || frame_size land 7 <> 0 then
+    invalid_arg "Scm_device.create: frame_size";
+  {
+    arena = Bytes.make (nframes * frame_size) '\000';
+    frame_size;
+    nframes;
+    writes = Array.make nframes 0;
+    total_writes = 0;
+  }
+
+let frame_size t = t.frame_size
+let nframes t = t.nframes
+let size_bytes t = t.nframes * t.frame_size
+
+let check t addr len =
+  if addr < 0 || addr + len > Bytes.length t.arena then
+    invalid_arg
+      (Printf.sprintf "Scm_device: address %#x+%d out of range" addr len)
+
+let bump t addr =
+  let f = addr / t.frame_size in
+  t.writes.(f) <- t.writes.(f) + 1;
+  t.total_writes <- t.total_writes + 1
+
+let load64 t addr =
+  check t addr 8;
+  if not (Word.is_aligned addr) then
+    invalid_arg (Printf.sprintf "Scm_device.load64: unaligned %#x" addr);
+  Word.get t.arena addr
+
+let store64 t addr v =
+  check t addr 8;
+  if not (Word.is_aligned addr) then
+    invalid_arg (Printf.sprintf "Scm_device.store64: unaligned %#x" addr);
+  Word.set t.arena addr v;
+  bump t addr
+
+let load_byte t addr =
+  check t addr 1;
+  Bytes.get t.arena addr
+
+let read_into t addr buf off len =
+  check t addr len;
+  Bytes.blit t.arena addr buf off len
+
+let write_from t addr buf off len =
+  check t addr len;
+  Bytes.blit buf off t.arena addr len;
+  if len > 0 then bump t addr
+
+let write_count t frame = t.writes.(frame)
+let total_writes t = t.total_writes
+
+let magic = "MNEMSCM1"
+
+let save_image t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc t.frame_size;
+      output_binary_int oc t.nframes;
+      output_bytes oc t.arena)
+
+let load_image path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith "Scm_device.load_image: bad magic";
+      let frame_size = input_binary_int ic in
+      let nframes = input_binary_int ic in
+      let t = create ~frame_size ~nframes () in
+      really_input ic t.arena 0 (Bytes.length t.arena);
+      t)
+
+let copy t =
+  {
+    arena = Bytes.copy t.arena;
+    frame_size = t.frame_size;
+    nframes = t.nframes;
+    writes = Array.copy t.writes;
+    total_writes = t.total_writes;
+  }

@@ -1,0 +1,57 @@
+(** The storage-class-memory device.
+
+    This is the durable layer: whatever is in the device arena at the
+    moment of a crash is what survives.  Caches and write-combining
+    buffers above it are volatile overlays ({!Cache}, {!Wc_buffer}).
+
+    Addresses here are {e physical} byte offsets into the device; the
+    region manager translates the virtual addresses the rest of the
+    system uses.  The device guarantees atomic aligned 64-bit writes
+    (paper section 2) and nothing more.
+
+    The arena can be saved to and reloaded from a file, which is how we
+    emulate machine reboot: a crash test saves the post-crash image,
+    constructs a fresh device from it, and re-runs recovery. *)
+
+type t
+
+val create : ?frame_size:int -> nframes:int -> unit -> t
+(** [create ~nframes ()] makes a zeroed device of [nframes] frames of
+    [frame_size] (default 4096) bytes. *)
+
+val frame_size : t -> int
+val nframes : t -> int
+val size_bytes : t -> int
+
+val load64 : t -> int -> int64
+(** [load64 t addr] reads the aligned word at physical byte address
+    [addr].  Raises [Invalid_argument] if out of range or unaligned. *)
+
+val store64 : t -> int -> int64 -> unit
+(** Atomic durable word write. *)
+
+val load_byte : t -> int -> char
+val read_into : t -> int -> Bytes.t -> int -> int -> unit
+(** [read_into t addr buf off len] copies [len] device bytes at [addr]
+    into [buf] starting at [off]. *)
+
+val write_from : t -> int -> Bytes.t -> int -> int -> unit
+(** Durable multi-byte write, used by the cache write-back path (a full
+    line reaching memory) and by frame swap-in.  Not atomic beyond 64-bit
+    granularity; callers must not rely on more. *)
+
+val write_count : t -> int -> int
+(** [write_count t frame] is the number of word/line writes that have
+    landed in [frame] — the wear counter of section 4.5. *)
+
+val total_writes : t -> int
+
+val save_image : t -> string -> unit
+(** Persist the full arena (and geometry) to a file. *)
+
+val load_image : string -> t
+(** Reconstruct a device from a saved image. *)
+
+val copy : t -> t
+(** A snapshot of the device; used by tests that compare pre/post-crash
+    durable state. *)

@@ -1,0 +1,66 @@
+type t = {
+  dev : Scm_device.t;
+  order : (int * int64) Queue.t;
+  latest : (int, int64) Hashtbl.t;
+  lines : (int, int) Hashtbl.t;  (* 64-byte line -> pending word count *)
+}
+
+let line_shift = 6
+
+let create dev =
+  {
+    dev;
+    order = Queue.create ();
+    latest = Hashtbl.create 64;
+    lines = Hashtbl.create 64;
+  }
+
+let post t addr v =
+  if not (Word.is_aligned addr) then
+    invalid_arg (Printf.sprintf "Wc_buffer.post: unaligned %#x" addr);
+  Queue.push (addr, v) t.order;
+  Hashtbl.replace t.latest addr v;
+  let line = addr lsr line_shift in
+  Hashtbl.replace t.lines line
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.lines line))
+
+let lookup t addr = Hashtbl.find_opt t.latest addr
+
+let pending_in_line t addr = Hashtbl.mem t.lines (addr lsr line_shift)
+
+let pending_words t = Queue.length t.order
+let pending_bytes t = 8 * Queue.length t.order
+
+let clear t =
+  Queue.clear t.order;
+  Hashtbl.reset t.latest;
+  Hashtbl.reset t.lines
+
+let drain t =
+  Queue.iter (fun (addr, v) -> Scm_device.store64 t.dev addr v) t.order;
+  clear t
+
+let crash_apply_subset t rng =
+  let applied = ref 0 in
+  (* Apply a random subset in a random order.  Later writes to the same
+     address may land while earlier ones do not — the torn-write
+     hazard. *)
+  let pending = Array.of_seq (Queue.to_seq t.order) in
+  let n = Array.length pending in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = pending.(i) in
+    pending.(i) <- pending.(j);
+    pending.(j) <- tmp
+  done;
+  Array.iter
+    (fun (addr, v) ->
+      if Random.State.bool rng then begin
+        Scm_device.store64 t.dev addr v;
+        incr applied
+      end)
+    pending;
+  clear t;
+  !applied
+
+let discard t = clear t

@@ -1,0 +1,212 @@
+exception Deadlock of string
+
+(* Binary min-heap of events keyed by (time, seq); seq gives FIFO order
+   among same-time events. *)
+module Heap = struct
+  type entry = { time : int; seq : int; thunk : unit -> unit }
+
+  type t = { mutable a : entry array; mutable n : int }
+
+  let dummy = { time = 0; seq = 0; thunk = ignore }
+
+  let create () = { a = Array.make 256 dummy; n = 0 }
+
+  let before x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let push t e =
+    if t.n = Array.length t.a then begin
+      let bigger = Array.make (2 * t.n) dummy in
+      Array.blit t.a 0 bigger 0 t.n;
+      t.a <- bigger
+    end;
+    t.a.(t.n) <- e;
+    let i = ref t.n in
+    t.n <- t.n + 1;
+    while !i > 0 && before t.a.(!i) t.a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.a.(p) in
+      t.a.(p) <- t.a.(!i);
+      t.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop t =
+    if t.n = 0 then None
+    else begin
+      let top = t.a.(0) in
+      t.n <- t.n - 1;
+      t.a.(0) <- t.a.(t.n);
+      t.a.(t.n) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.n && before t.a.(l) t.a.(!smallest) then smallest := l;
+        if r < t.n && before t.a.(r) t.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.a.(!smallest) in
+          t.a.(!smallest) <- t.a.(!i);
+          t.a.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+
+  let size t = t.n
+end
+
+type t = {
+  mutable clock : int;
+  mutable seq : int;
+  events : Heap.t;
+  mutable started : int;
+  mutable suspended : int;  (* processes parked via [suspend] *)
+}
+
+type _ Effect.t +=
+  | Delay : t * int -> unit Effect.t
+  | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
+
+let create () =
+  { clock = 0; seq = 0; events = Heap.create (); started = 0; suspended = 0 }
+
+let now t = t.clock
+
+let schedule t time thunk =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Heap.push t.events { time; seq; thunk }
+
+let delay t ns =
+  if ns < 0 then invalid_arg "Sim.delay: negative";
+  Effect.perform (Delay (t, ns))
+
+let yield t = delay t 0
+
+let suspend t register = Effect.perform (Suspend (t, register))
+
+let run_process t body =
+  let open Effect.Deep in
+  t.started <- t.started + 1;
+  match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (sim, ns) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  schedule sim (sim.clock + ns) (fun () -> continue k ()))
+          | Suspend (sim, register) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  sim.suspended <- sim.suspended + 1;
+                  let resumed = ref false in
+                  register (fun () ->
+                      if !resumed then
+                        failwith "Sim.suspend: resume called twice";
+                      resumed := true;
+                      sim.suspended <- sim.suspended - 1;
+                      schedule sim sim.clock (fun () -> continue k ())))
+          | _ -> None);
+    }
+
+let spawn_at ?name:_ t time body = schedule t time (fun () -> run_process t body)
+
+let spawn ?name t body = spawn_at ?name t t.clock body
+
+let run ?until t =
+  let continue_run = ref true in
+  while !continue_run do
+    match Heap.pop t.events with
+    | None ->
+        if t.suspended > 0 then
+          raise
+            (Deadlock
+               (Printf.sprintf "%d process(es) suspended with no events"
+                  t.suspended));
+        continue_run := false
+    | Some { time; thunk; _ } -> (
+        match until with
+        | Some limit when time > limit ->
+            (* Put it back and stop: caller may resume later. *)
+            schedule t time thunk;
+            t.clock <- limit;
+            continue_run := false
+        | _ ->
+            t.clock <- time;
+            thunk ())
+  done;
+  ignore (Heap.size t.events)
+
+let processes_run t = t.started
+
+module Mutex_r = struct
+  type sim = t
+
+  type t = {
+    sim : sim;
+    mutable locked : bool;
+    waiters : (unit -> unit) Queue.t;
+    mutable contentions : int;
+  }
+
+  let create sim =
+    { sim; locked = false; waiters = Queue.create (); contentions = 0 }
+
+  let lock m =
+    if not m.locked then m.locked <- true
+    else begin
+      m.contentions <- m.contentions + 1;
+      suspend m.sim (fun resume -> Queue.push resume m.waiters)
+      (* The unlocker hands us ownership directly: [locked] stays true. *)
+    end
+
+  let try_lock m =
+    if m.locked then false
+    else begin
+      m.locked <- true;
+      true
+    end
+
+  let unlock m =
+    if not m.locked then invalid_arg "Mutex_r.unlock: not locked";
+    match Queue.take_opt m.waiters with
+    | Some resume -> resume ()  (* ownership transfers; stays locked *)
+    | None -> m.locked <- false
+
+  let holder_waiters m = (if m.locked then 1 else 0) + Queue.length m.waiters
+  let contentions m = m.contentions
+
+  let with_lock m f =
+    lock m;
+    Fun.protect ~finally:(fun () -> unlock m) f
+end
+
+module Cond_r = struct
+  type sim = t
+
+  type t = { sim : sim; waiters : (unit -> unit) Queue.t }
+
+  let create sim = { sim; waiters = Queue.create () }
+
+  let wait c m =
+    (* Release, park, re-acquire: the classic monitor protocol. *)
+    Mutex_r.unlock m;
+    suspend c.sim (fun resume -> Queue.push resume c.waiters);
+    Mutex_r.lock m
+
+  let signal c = match Queue.take_opt c.waiters with
+    | Some resume -> resume ()
+    | None -> ()
+
+  let broadcast c =
+    let all = Queue.to_seq c.waiters |> List.of_seq in
+    Queue.clear c.waiters;
+    List.iter (fun resume -> resume ()) all
+end

@@ -1,0 +1,90 @@
+(** A discrete-event simulator with cooperative processes.
+
+    This is the substrate that stands in for the paper's pthreads (see
+    DESIGN.md section 1): benchmark "threads" are simulator processes,
+    each memory primitive charges simulated nanoseconds through
+    {!delay}, and shared resources ({!Mutex_r}, {!Cond_r}) serialize
+    processes exactly where a real lock would.  Because every memory
+    operation is a yield point, transactional conflicts and queueing on
+    Berkeley DB's central log buffer arise from genuine interleavings —
+    deterministically, from a seeded schedule.
+
+    Processes are implemented with OCaml 5 effects: [delay] and blocking
+    operations perform an effect captured by the scheduler, which
+    resumes the continuation when the simulated clock reaches the wake
+    time. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulated time in nanoseconds. *)
+
+val spawn : ?name:string -> t -> (unit -> unit) -> unit
+(** Register a process to start at the current simulated time.  The
+    body runs when {!run} reaches that moment. *)
+
+val spawn_at : ?name:string -> t -> int -> (unit -> unit) -> unit
+(** Start a process at an absolute simulated time. *)
+
+val delay : t -> int -> unit
+(** Advance this process's clock by [ns], yielding to any process
+    scheduled earlier.  Must be called from inside a process. *)
+
+val yield : t -> unit
+(** [delay t 0]: give same-time processes a chance to run. *)
+
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+(** [suspend t register] parks the current process and calls
+    [register resume]; calling [resume] (from another process or the
+    scheduler) requeues the parked process at the then-current time.
+    [resume] must be called at most once.  This is the primitive the
+    synchronization objects are built from. *)
+
+val run : ?until:int -> t -> unit
+(** Execute events until the queue is empty (or simulated time would
+    exceed [until]).  Re-entrant with respect to [spawn]: processes may
+    spawn more processes. *)
+
+val processes_run : t -> int
+(** Number of process bodies started so far (for tests). *)
+
+exception Deadlock of string
+(** Raised by {!run} when processes remain suspended with no pending
+    events — every remaining process is blocked on a resource that
+    nobody will release. *)
+
+(** FIFO mutex: the model for any serialized software resource (Berkeley
+    DB's centralized log buffer, a page latch).  Lock acquisitions are
+    granted in arrival order, so queueing delay is measured faithfully. *)
+module Mutex_r : sig
+  type sim := t
+  type t
+
+  val create : sim -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+  val try_lock : t -> bool
+  val holder_waiters : t -> int
+  (** Queue length including holder. *)
+
+  val contentions : t -> int
+  (** Lock calls that had to wait. *)
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+(** Condition variable over {!Mutex_r}, used by group commit. *)
+module Cond_r : sig
+  type sim := t
+  type t
+
+  val create : sim -> t
+  val wait : t -> Mutex_r.t -> unit
+  (** Atomically release the mutex and park; re-acquires before
+      returning. *)
+
+  val signal : t -> unit
+  val broadcast : t -> unit
+end

@@ -1,0 +1,50 @@
+type t = Random.State.t
+
+let create ?(seed = 0xbeef) () = Random.State.make [| seed |]
+
+let uniform_int t n = Random.State.int t n
+
+let seq_key i = Bytes.of_string (Printf.sprintf "k%08d" i)
+
+let key t ~space = seq_key (Random.State.int t space)
+
+let value t n =
+  Bytes.init n (fun _ -> Char.chr (32 + Random.State.int t 95))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+module Zipf = struct
+  type dist = { rng : Random.State.t; cdf : float array }
+
+  let make rng ~n ~theta =
+    if n <= 0 then invalid_arg "Zipf.make";
+    let weights =
+      Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta)
+    in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i w ->
+        acc := !acc +. (w /. total);
+        cdf.(i) <- !acc)
+      weights;
+    cdf.(n - 1) <- 1.0;
+    { rng; cdf }
+
+  let draw d =
+    let u = Random.State.float d.rng 1.0 in
+    (* binary search for the first cdf entry >= u *)
+    let lo = ref 0 and hi = ref (Array.length d.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if d.cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+end

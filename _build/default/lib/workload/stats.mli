@@ -1,0 +1,19 @@
+(** Latency/throughput bookkeeping for the benchmark harness. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+(** Record one sample (simulated nanoseconds). *)
+
+val count : t -> int
+val mean_ns : t -> float
+val min_ns : t -> int
+val max_ns : t -> int
+val percentile_ns : t -> float -> int
+(** e.g. [percentile_ns t 99.0]. *)
+
+val mean_us : t -> float
+
+val throughput_per_s : ops:int -> elapsed_ns:int -> float
+(** Aggregate operations per second over a simulated interval. *)

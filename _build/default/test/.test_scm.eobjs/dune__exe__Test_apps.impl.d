@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Baseline Bytes Filename Fun Int64 Mnemosyne Region Scm Sys

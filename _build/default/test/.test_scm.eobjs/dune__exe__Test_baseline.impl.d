@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Bytes Char Gen Int64 List Printf QCheck QCheck_alcotest Scm Sim

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Filename Fun Int64 List Mnemosyne Region Sys Workload

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Filename Fun Gen Int64 List Pmheap Pmlog QCheck QCheck_alcotest Random Region Scm Sys

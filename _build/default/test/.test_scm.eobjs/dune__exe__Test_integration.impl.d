@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bytes Filename Fun Gen Hashtbl Int64 List Mnemosyne Mtm Pmheap Printf Pstruct QCheck QCheck_alcotest Random Region Scm Sim Sys Workload

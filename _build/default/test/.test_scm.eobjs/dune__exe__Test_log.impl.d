@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Array Filename Fun Gen Int64 List Pmlog Printf QCheck QCheck_alcotest Region Scm Sys

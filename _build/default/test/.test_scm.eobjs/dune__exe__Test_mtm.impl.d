@@ -1,0 +1,1 @@
+test/test_mtm.ml: Alcotest Array Bytes Filename Fun Gen Hashtbl Int64 List Mtm Pmheap Printf QCheck QCheck_alcotest Region Scm Sim String Sys

@@ -1,0 +1,1 @@
+test/test_pstruct.ml: Alcotest Array Bytes Filename Fun Gen Hashtbl Int64 List Map Mnemosyne Mtm Option Printf Pstruct QCheck QCheck_alcotest Queue Random Region Scm Sys

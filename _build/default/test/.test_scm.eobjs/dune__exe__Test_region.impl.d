@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest Array Bytes Char Filename Fun Hashtbl Int64 List Printf QCheck QCheck_alcotest Region Scm String Sys

@@ -1,0 +1,1 @@
+test/test_scm.ml: Alcotest Array Bytes Cache Char Crash Env Filename Fun Int64 Latency_model List Primitives Printf QCheck QCheck_alcotest Random Scm Scm_device Sys Wc_buffer Word

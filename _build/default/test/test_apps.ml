@@ -1,0 +1,190 @@
+(* Tests for the application cores: the OpenLDAP-style directory server
+   (three backends, the volatile-pointer/version pattern) and the Tokyo
+   Cabinet-style store (both persistence strategies). *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "mnemoapps" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun n -> rm (Filename.concat p n)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+      in
+      if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let payload = Bytes.of_string "uid=alice,ou=people,dc=example,dc=com"
+
+(* ------------------------------------------------------------------ *)
+(* LDAP server *)
+
+let test_ldap_bdb_backend () =
+  let disk = Baseline.Pcm_disk.create ~nblocks:1024 () in
+  let server = Apps.Ldap_server.create_bdb ~frontend_ns:1000 disk in
+  Alcotest.(check bool) "kind" true
+    (Apps.Ldap_server.kind server = Apps.Ldap_server.Back_bdb);
+  let env = Scm.Env.standalone (Scm.Env.make_machine ~nframes:16 ()) in
+  let w = Apps.Ldap_server.worker server 0 env in
+  for dn = 0 to 19 do
+    Apps.Ldap_server.add_entry w ~dn:(Int64.of_int dn) ~attr_id:2 ~payload
+  done;
+  Alcotest.(check int) "entries" 20 (Apps.Ldap_server.entries w);
+  match Apps.Ldap_server.search w ~dn:5L with
+  | Some (attr, p) ->
+      Alcotest.(check string) "attribute resolved" "mail" attr;
+      Alcotest.(check bytes) "payload" payload p
+  | None -> Alcotest.fail "entry missing"
+
+let test_ldap_ldbm_flushes_periodically () =
+  let disk = Baseline.Pcm_disk.create ~nblocks:1024 () in
+  let server =
+    Apps.Ldap_server.create_ldbm ~frontend_ns:1000 ~flush_every:8 disk
+  in
+  let env = Scm.Env.standalone (Scm.Env.make_machine ~nframes:16 ()) in
+  let w = Apps.Ldap_server.worker server 0 env in
+  for dn = 0 to 31 do
+    Apps.Ldap_server.add_entry w ~dn:(Int64.of_int dn) ~attr_id:0 ~payload
+  done;
+  (* non-transactional: no WAL traffic, but periodic page flushes *)
+  Alcotest.(check bool) "dirty pages reached the disk" true
+    (Baseline.Pcm_disk.blocks_written disk > 0)
+
+let test_ldap_mnemosyne_persistence_and_stale_pointers () =
+  with_tmpdir (fun dir ->
+      let inst = Mnemosyne.open_instance ~dir () in
+      let server = Apps.Ldap_server.create_mnemosyne ~frontend_ns:1000 inst in
+      let v1 = Apps.Ldap_server.session_attr_version server in
+      let w =
+        Apps.Ldap_server.worker server 0 (Mnemosyne.view inst).Region.Pmem.env
+      in
+      for dn = 0 to 24 do
+        Apps.Ldap_server.add_entry w ~dn:(Int64.of_int dn)
+          ~attr_id:(dn mod 7) ~payload
+      done;
+      Alcotest.(check int) "entries" 25 (Apps.Ldap_server.entries w);
+      Alcotest.(check int) "no stale pointers within a session" 0
+        (Apps.Ldap_server.stale_resolutions server);
+      (* restart the server process *)
+      let inst = Mnemosyne.reincarnate inst in
+      let server = Apps.Ldap_server.create_mnemosyne ~frontend_ns:1000 inst in
+      Alcotest.(check int) "session version bumped" (v1 + 1)
+        (Apps.Ldap_server.session_attr_version server);
+      let w =
+        Apps.Ldap_server.worker server 0 (Mnemosyne.view inst).Region.Pmem.env
+      in
+      Alcotest.(check int) "cache survived" 25 (Apps.Ldap_server.entries w);
+      (match Apps.Ldap_server.search w ~dn:9L with
+      | Some (attr, p) ->
+          (* dn 9 was stored with attr_id 9 mod 7 = 2 = "mail" *)
+          Alcotest.(check string) "re-resolved attribute" "mail" attr;
+          Alcotest.(check bytes) "payload survived" payload p
+      | None -> Alcotest.fail "entry lost across restart");
+      Alcotest.(check bool) "stale pointer detected and repaired" true
+        (Apps.Ldap_server.stale_resolutions server > 0);
+      let before = Apps.Ldap_server.stale_resolutions server in
+      ignore (Apps.Ldap_server.search w ~dn:9L);
+      Alcotest.(check int) "repair is sticky" before
+        (Apps.Ldap_server.stale_resolutions server))
+
+(* ------------------------------------------------------------------ *)
+(* Tokyo Cabinet store *)
+
+let test_tc_msync_mode () =
+  let disk = Baseline.Pcm_disk.create ~nblocks:1024 () in
+  let store = Apps.Tc_store.create_msync ~request_ns:100 disk in
+  let env = Scm.Env.standalone (Scm.Env.make_machine ~nframes:16 ()) in
+  let w = Apps.Tc_store.worker store 0 env in
+  Apps.Tc_store.put w 1L (Bytes.of_string "one");
+  Apps.Tc_store.put w 2L (Bytes.of_string "two");
+  Alcotest.(check (option bytes)) "get" (Some (Bytes.of_string "one"))
+    (Apps.Tc_store.get w 1L);
+  Alcotest.(check bool) "delete" true (Apps.Tc_store.delete w 2L);
+  Alcotest.(check int) "length" 1 (Apps.Tc_store.length w)
+
+let test_tc_mnemosyne_survives_crash () =
+  with_tmpdir (fun dir ->
+      let inst = Mnemosyne.open_instance ~dir () in
+      let store = Apps.Tc_store.create_mnemosyne ~request_ns:100 inst in
+      let w =
+        Apps.Tc_store.worker store 0 (Mnemosyne.view inst).Region.Pmem.env
+      in
+      for k = 0 to 99 do
+        Apps.Tc_store.put w (Int64.of_int k)
+          (Bytes.of_string (string_of_int (k * k)))
+      done;
+      for k = 0 to 9 do
+        ignore (Apps.Tc_store.delete w (Int64.of_int k))
+      done;
+      let inst = Mnemosyne.reincarnate inst in
+      let store = Apps.Tc_store.create_mnemosyne ~request_ns:100 inst in
+      let w =
+        Apps.Tc_store.worker store 0 (Mnemosyne.view inst).Region.Pmem.env
+      in
+      Alcotest.(check int) "length" 90 (Apps.Tc_store.length w);
+      Alcotest.(check (option bytes)) "deleted stays deleted" None
+        (Apps.Tc_store.get w 5L);
+      Alcotest.(check (option bytes)) "survivor intact"
+        (Some (Bytes.of_string "2500"))
+        (Apps.Tc_store.get w 50L))
+
+let test_tc_relative_performance () =
+  (* storage dominates TC: Mnemosyne must beat msync-per-update, more so
+     for bigger values (the table-4 shape, asserted coarsely) *)
+  let run_mnemo dir value_bytes =
+    let inst = Mnemosyne.open_instance ~dir () in
+    let store = Apps.Tc_store.create_mnemosyne inst in
+    let env = (Mnemosyne.view inst).Region.Pmem.env in
+    let w = Apps.Tc_store.worker store 0 env in
+    let t0 = env.now () in
+    for k = 0 to 49 do
+      Apps.Tc_store.put w (Int64.of_int k) (Bytes.make value_bytes 'v')
+    done;
+    env.now () - t0
+  in
+  let run_msync value_bytes =
+    let disk = Baseline.Pcm_disk.create ~nblocks:1024 () in
+    let store = Apps.Tc_store.create_msync disk in
+    let env = Scm.Env.standalone (Scm.Env.make_machine ~nframes:16 ()) in
+    let w = Apps.Tc_store.worker store 0 env in
+    let t0 = env.now () in
+    for k = 0 to 49 do
+      Apps.Tc_store.put w (Int64.of_int k) (Bytes.make value_bytes 'v')
+    done;
+    env.now () - t0
+  in
+  with_tmpdir (fun dir1 ->
+      with_tmpdir (fun dir2 ->
+          let m64 = run_mnemo dir1 64 and m1k = run_mnemo dir2 1024 in
+          let s64 = run_msync 64 and s1k = run_msync 1024 in
+          Alcotest.(check bool) "mnemosyne wins at 64B" true (m64 < s64);
+          Alcotest.(check bool) "mnemosyne wins at 1KiB" true (m1k < s1k);
+          let r64 = float_of_int s64 /. float_of_int m64 in
+          let r1k = float_of_int s1k /. float_of_int m1k in
+          Alcotest.(check bool) "advantage grows with value size" true
+            (r1k > r64)))
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "ldap",
+        [
+          Alcotest.test_case "bdb backend" `Quick test_ldap_bdb_backend;
+          Alcotest.test_case "ldbm flushes periodically" `Quick
+            test_ldap_ldbm_flushes_periodically;
+          Alcotest.test_case "mnemosyne persistence + stale pointers" `Quick
+            test_ldap_mnemosyne_persistence_and_stale_pointers;
+        ] );
+      ( "tc",
+        [
+          Alcotest.test_case "msync mode" `Quick test_tc_msync_mode;
+          Alcotest.test_case "mnemosyne survives crash" `Quick
+            test_tc_mnemosyne_survives_crash;
+          Alcotest.test_case "relative performance" `Quick
+            test_tc_relative_performance;
+        ] );
+    ]

@@ -1,0 +1,485 @@
+(* Tests for the log library: bit-stream packing, the tornbit RAWL
+   (append/flush/truncate/recovery, torn-write detection, wraparound)
+   and the commit-record baseline log. *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "mnemolog" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* A full persistent-memory stack in [dir]; returns (machine, view). *)
+let stack ?(nframes = 256) ?(seed = 5) dir =
+  let m = Scm.Env.make_machine ~seed ~nframes () in
+  let backing = Region.Backing_store.open_dir dir in
+  let t = Region.Pmem.open_instance m backing in
+  (m, Region.Pmem.default_view t)
+
+(* Simulate process death + reboot on the same device: volatile state is
+   wiped by the crash; rebuild the machine wrapper and reopen. *)
+let reboot (m : Scm.Env.machine) dir =
+  let m' = Scm.Env.machine_of_device m.dev in
+  let backing = Region.Backing_store.open_dir dir in
+  let t = Region.Pmem.open_instance m' backing in
+  (m', Region.Pmem.default_view t)
+
+let i64_array = Alcotest.(array int64)
+
+let record_list = Alcotest.(list (array int64))
+
+(* ------------------------------------------------------------------ *)
+(* Bitstream *)
+
+let test_stored_words_for () =
+  Alcotest.(check int) "1 word" 2 (Pmlog.Bitstream.stored_words_for 1);
+  Alcotest.(check int) "63 words" 64 (Pmlog.Bitstream.stored_words_for 63);
+  Alcotest.(check int) "64 words" 66 (Pmlog.Bitstream.stored_words_for 64)
+
+let pack_unpack words =
+  let chunks = ref [] in
+  let packer =
+    Pmlog.Bitstream.Packer.create ~emit:(fun c -> chunks := c :: !chunks)
+  in
+  Array.iter (Pmlog.Bitstream.Packer.push packer) words;
+  Pmlog.Bitstream.Packer.flush packer;
+  let chunks = List.rev !chunks in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "bit 63 clear in emitted chunk" false
+        (Scm.Word.bit c 63))
+    chunks;
+  let unp = Pmlog.Bitstream.Unpacker.create () in
+  let out = ref [] in
+  List.iter
+    (fun c ->
+      Pmlog.Bitstream.Unpacker.feed unp c;
+      let rec drain () =
+        match Pmlog.Bitstream.Unpacker.take unp with
+        | Some w ->
+            out := w :: !out;
+            drain ()
+        | None -> ()
+      in
+      drain ())
+    chunks;
+  (List.length chunks, Array.of_list (List.rev !out))
+
+let test_bitstream_roundtrip_small () =
+  let words = [| 1L; -1L; 0x0123456789abcdefL; 0L; Int64.min_int |] in
+  let nchunks, out = pack_unpack words in
+  Alcotest.(check int) "chunk count" (Pmlog.Bitstream.stored_words_for 5)
+    nchunks;
+  Alcotest.check i64_array "roundtrip"
+    words (Array.sub out 0 5)
+
+let prop_bitstream_roundtrip =
+  QCheck.Test.make ~name:"bitstream pack/unpack roundtrip" ~count:200
+    QCheck.(array_of_size Gen.(1 -- 200) int64)
+    (fun words ->
+      let nchunks, out = pack_unpack words in
+      nchunks = Pmlog.Bitstream.stored_words_for (Array.length words)
+      && Array.length out >= Array.length words
+      && Array.for_all2 ( = ) words
+           (Array.sub out 0 (Array.length words)))
+
+(* ------------------------------------------------------------------ *)
+(* RAWL *)
+
+let make_log v ~cap_words =
+  let base = Region.Pmem.pmap v (Pmlog.Rawl.region_bytes_for ~cap_words) in
+  (base, Pmlog.Rawl.create v ~base ~cap_words)
+
+let test_rawl_append_and_recover () =
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_log v ~cap_words:256 in
+      let r1 = [| 1L; 2L; 3L |] and r2 = [| -1L |] and r3 = Array.make 20 7L in
+      List.iter
+        (fun r ->
+          match Pmlog.Rawl.append log r with
+          | Pmlog.Rawl.Appended _ -> ()
+          | Pmlog.Rawl.Full -> Alcotest.fail "unexpected Full")
+        [ r1; r2; r3 ];
+      Pmlog.Rawl.flush log;
+      let _, v' = reboot m dir in
+      let _, records = Pmlog.Rawl.attach v' ~base in
+      Alcotest.check record_list "all records recovered" [ r1; r2; r3 ]
+        records)
+
+let test_rawl_unflushed_append_lost () =
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_log v ~cap_words:128 in
+      (match Pmlog.Rawl.append log [| 5L; 6L |] with
+      | Pmlog.Rawl.Appended _ -> ()
+      | Pmlog.Rawl.Full -> Alcotest.fail "Full");
+      Pmlog.Rawl.flush log;
+      (match Pmlog.Rawl.append log [| 9L |] with
+      | Pmlog.Rawl.Appended _ -> ()
+      | Pmlog.Rawl.Full -> Alcotest.fail "Full");
+      (* no flush: second record is still in the WC buffers *)
+      Scm.Crash.inject
+        ~policy:{ cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_drop }
+        m;
+      let _, v' = reboot m dir in
+      let _, records = Pmlog.Rawl.attach v' ~base in
+      Alcotest.check record_list "only the flushed record" [ [| 5L; 6L |] ]
+        records)
+
+let test_rawl_torn_append_detected () =
+  (* Crash with a random subset of the pending streaming writes applied:
+     recovery must never surface a corrupted record — each recovered
+     record matches what was appended, and they form a prefix. *)
+  let failures = ref 0 in
+  for seed = 0 to 49 do
+    with_tmpdir (fun dir ->
+        let m, v = stack ~seed dir in
+        let base, log = make_log v ~cap_words:512 in
+        let appended =
+          List.init 5 (fun i -> Array.init (3 + i) (fun j ->
+              Int64.of_int ((100 * i) + j)))
+        in
+        List.iteri
+          (fun i r ->
+            (match Pmlog.Rawl.append log r with
+            | Pmlog.Rawl.Appended _ -> ()
+            | Pmlog.Rawl.Full -> Alcotest.fail "Full");
+            (* flush the first three; leave the last two in flight *)
+            if i = 2 then Pmlog.Rawl.flush log)
+          appended;
+        Scm.Crash.inject
+          ~policy:
+            { cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_random_subset }
+          m;
+        let _, v' = reboot m dir in
+        let _, records = Pmlog.Rawl.attach v' ~base in
+        if List.length records < 3 then incr failures;
+        (* recovered records must be an exact prefix of what was appended *)
+        List.iteri
+          (fun i r ->
+            Alcotest.check i64_array
+              (Printf.sprintf "seed %d record %d intact" seed i)
+              (List.nth appended i) r)
+          records)
+  done;
+  Alcotest.(check int) "flushed records always recovered" 0 !failures
+
+let test_rawl_bit_flip_injection () =
+  (* The paper's reliability test: inject bit flips into the log before
+     a crash; recovery must stop at the corrupted word. *)
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_log v ~cap_words:128 in
+      ignore (Pmlog.Rawl.append log [| 1L; 2L |]);
+      ignore (Pmlog.Rawl.append log [| 3L; 4L |]);
+      Pmlog.Rawl.flush log;
+      (* Flip the torn bit of the second record's first stored word.
+         Record 1 spans stored_words_for(3) = 4 words; buffer starts at
+         base + 64. *)
+      let slot = base + 64 + (8 * Pmlog.Bitstream.stored_words_for 3) in
+      let w = Region.Pmem.load v slot in
+      Region.Pmem.wtstore v slot (Scm.Word.set_bit w 63 (not (Scm.Word.bit w 63)));
+      Region.Pmem.fence v;
+      Scm.Crash.inject m;
+      let _, v' = reboot m dir in
+      let _, records = Pmlog.Rawl.attach v' ~base in
+      Alcotest.check record_list "scan stops at the flipped bit"
+        [ [| 1L; 2L |] ]
+        records)
+
+let test_rawl_wraparound_many_passes () =
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_log v ~cap_words:64 in
+      (* Append/truncate enough to wrap the buffer several times. *)
+      for round = 1 to 40 do
+        (match Pmlog.Rawl.append log (Array.make 10 (Int64.of_int round)) with
+        | Pmlog.Rawl.Appended _ -> ()
+        | Pmlog.Rawl.Full -> Alcotest.fail "unexpected Full");
+        Pmlog.Rawl.flush log;
+        if round mod 2 = 1 then Pmlog.Rawl.truncate_all log
+      done;
+      (* One final flushed record after the last truncation. *)
+      ignore (Pmlog.Rawl.append log [| 4242L |]);
+      Pmlog.Rawl.flush log;
+      let _, v' = reboot m dir in
+      let _, records = Pmlog.Rawl.attach v' ~base in
+      Alcotest.check record_list "post-wrap recovery"
+        [ Array.make 10 40L; [| 4242L |] ]
+        records)
+
+let test_rawl_full_and_space_accounting () =
+  with_tmpdir (fun dir ->
+      let _, v = stack dir in
+      let _, log = make_log v ~cap_words:16 in
+      Alcotest.(check int) "empty" 0 (Pmlog.Rawl.used_words log);
+      Alcotest.(check int) "free" 15 (Pmlog.Rawl.free_words log);
+      (match Pmlog.Rawl.append log (Array.make 8 1L) with
+      | Pmlog.Rawl.Appended span ->
+          Alcotest.(check int) "span" (Pmlog.Bitstream.stored_words_for 9) span
+      | Pmlog.Rawl.Full -> Alcotest.fail "should fit");
+      (match Pmlog.Rawl.append log (Array.make 8 1L) with
+      | Pmlog.Rawl.Full -> ()
+      | Pmlog.Rawl.Appended _ -> Alcotest.fail "should be Full");
+      Pmlog.Rawl.truncate_all log;
+      Alcotest.(check int) "free after truncate" 15
+        (Pmlog.Rawl.free_words log);
+      match Pmlog.Rawl.append log (Array.make 8 1L) with
+      | Pmlog.Rawl.Appended _ -> ()
+      | Pmlog.Rawl.Full -> Alcotest.fail "fits again")
+
+let test_rawl_advance_head_partial () =
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_log v ~cap_words:256 in
+      let spans =
+        List.map
+          (fun r ->
+            match Pmlog.Rawl.append log r with
+            | Pmlog.Rawl.Appended s -> s
+            | Pmlog.Rawl.Full -> Alcotest.fail "Full")
+          [ [| 1L |]; [| 2L |]; [| 3L |] ]
+      in
+      Pmlog.Rawl.flush log;
+      (* Consume just the first record. *)
+      Pmlog.Rawl.advance_head log ~words:(List.hd spans);
+      let _, v' = reboot m dir in
+      let _, records = Pmlog.Rawl.attach v' ~base in
+      Alcotest.check record_list "first record consumed"
+        [ [| 2L |]; [| 3L |] ]
+        records)
+
+let test_rawl_double_crash_after_recovery () =
+  (* A partial append discarded at recovery must not resurface after a
+     second crash (the stale-suffix erasure). *)
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_log v ~cap_words:128 in
+      ignore (Pmlog.Rawl.append log [| 10L; 11L |]);
+      Pmlog.Rawl.flush log;
+      ignore (Pmlog.Rawl.append log [| 20L; 21L; 22L; 23L |]);
+      (* crash with only part of the second append applied *)
+      Scm.Crash.inject
+        ~policy:
+          { cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_random_subset }
+        m;
+      let m2, v2 = reboot m dir in
+      let log2, records1 = Pmlog.Rawl.attach v2 ~base in
+      Alcotest.(check bool) "at most the flushed record" true
+        (List.length records1 <= 1);
+      (* Continue appending after recovery, then crash again cleanly. *)
+      ignore (Pmlog.Rawl.append log2 [| 30L |]);
+      Pmlog.Rawl.flush log2;
+      Scm.Crash.inject
+        ~policy:{ cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_drop }
+        m2;
+      let _, v3 = reboot m2 dir in
+      let _, records2 = Pmlog.Rawl.attach v3 ~base in
+      Alcotest.check record_list "old records + the new one, no garbage"
+        (records1 @ [ [| 30L |] ])
+        records2)
+
+let prop_rawl_recovery_prefix =
+  (* For random record batches, random flush points and adversarial
+     crashes: recovery yields an uncorrupted prefix (at least through
+     the last flush). *)
+  QCheck.Test.make ~name:"rawl recovery yields intact flushed prefix"
+    ~count:60
+    QCheck.(
+      pair (int_bound 1000)
+        (list_of_size Gen.(1 -- 8) (array_of_size Gen.(1 -- 12) int64)))
+    (fun (seed, batch) ->
+      QCheck.assume (batch <> []);
+      with_tmpdir (fun dir ->
+          let m, v = stack ~seed dir in
+          let base, log = make_log v ~cap_words:1024 in
+          let flush_at = seed mod List.length batch in
+          List.iteri
+            (fun i r ->
+              (match Pmlog.Rawl.append log r with
+              | Pmlog.Rawl.Appended _ -> ()
+              | Pmlog.Rawl.Full -> QCheck.assume_fail ());
+              if i = flush_at then Pmlog.Rawl.flush log)
+            batch;
+          Scm.Crash.inject m;
+          let _, v' = reboot m dir in
+          let _, records = Pmlog.Rawl.attach v' ~base in
+          List.length records >= flush_at + 1
+          && List.for_all2 ( = )
+               records
+               (List.filteri (fun i _ -> i < List.length records) batch)))
+
+let test_rawl_tornbit_rotation () =
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let cap_words = 32 in
+      let base = Region.Pmem.pmap v (Pmlog.Rawl.region_bytes_for ~cap_words) in
+      let log = Pmlog.Rawl.create ~rotate_torn_bit:true v ~base ~cap_words in
+      Alcotest.(check int) "starts at bit 63" 63
+        (Pmlog.Rawl.torn_bit_position log);
+      (* push enough passes through the buffer to trigger a rotation:
+         each round writes ~14 of the 31 usable words *)
+      let rounds = 4 * Pmlog.Rawl.rotate_period in
+      for round = 1 to rounds do
+        (match Pmlog.Rawl.append log (Array.make 12 (Int64.of_int round)) with
+        | Pmlog.Rawl.Appended _ -> ()
+        | Pmlog.Rawl.Full -> Alcotest.fail "unexpected Full");
+        Pmlog.Rawl.flush log;
+        Pmlog.Rawl.truncate_all log
+      done;
+      Alcotest.(check bool) "torn bit moved" true
+        (Pmlog.Rawl.torn_bit_position log <> 63);
+      (* a record written under the rotated position still recovers,
+         including across a crash and with arbitrary payload bits in the
+         old torn-bit column *)
+      let payload = Array.init 10 (fun i -> Int64.lognot (Int64.of_int i)) in
+      ignore (Pmlog.Rawl.append log payload);
+      Pmlog.Rawl.flush log;
+      Scm.Crash.inject m;
+      let _, v' = reboot m dir in
+      let log', records = Pmlog.Rawl.attach v' ~base in
+      Alcotest.check record_list "recovered under rotated torn bit"
+        [ payload ] records;
+      Alcotest.(check int) "position recovered from the head word"
+        (Pmlog.Rawl.torn_bit_position log)
+        (Pmlog.Rawl.torn_bit_position log'))
+
+let prop_rawl_rotation_roundtrip =
+  QCheck.Test.make ~name:"rotating rawl round-trips arbitrary payloads"
+    ~count:40
+    QCheck.(pair (int_bound 1000) (list_of_size Gen.(1 -- 5)
+                                     (array_of_size Gen.(1 -- 6) int64)))
+    (fun (seed, batch) ->
+      QCheck.assume (batch <> []);
+      with_tmpdir (fun dir ->
+          let _, v = stack ~seed dir in
+          let cap_words = 64 in
+          let base =
+            Region.Pmem.pmap v (Pmlog.Rawl.region_bytes_for ~cap_words)
+          in
+          let log =
+            Pmlog.Rawl.create ~rotate_torn_bit:true v ~base ~cap_words
+          in
+          (* churn to move the torn bit *)
+          for _ = 1 to (seed mod 3) * Pmlog.Rawl.rotate_period * 4 do
+            ignore (Pmlog.Rawl.append log [| 1L; 2L; 3L |]);
+            Pmlog.Rawl.flush log;
+            Pmlog.Rawl.truncate_all log
+          done;
+          List.iter
+            (fun r ->
+              match Pmlog.Rawl.append log r with
+              | Pmlog.Rawl.Appended _ -> ()
+              | Pmlog.Rawl.Full -> QCheck.assume_fail ())
+            batch;
+          Pmlog.Rawl.flush log;
+          let _, records = Pmlog.Rawl.attach v ~base in
+          records = batch))
+
+(* ------------------------------------------------------------------ *)
+(* Commit log *)
+
+let make_clog v ~cap_words =
+  let base =
+    Region.Pmem.pmap v (Pmlog.Commit_log.region_bytes_for ~cap_words)
+  in
+  (base, Pmlog.Commit_log.create v ~base ~cap_words)
+
+let test_clog_append_and_recover () =
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_clog v ~cap_words:128 in
+      let r1 = [| 1L; 2L |] and r2 = [| 3L |] in
+      (match Pmlog.Commit_log.append log r1 with
+      | Pmlog.Commit_log.Appended span -> Alcotest.(check int) "span" 4 span
+      | Pmlog.Commit_log.Full -> Alcotest.fail "Full");
+      ignore (Pmlog.Commit_log.append log r2);
+      let _, v' = reboot m dir in
+      let _, records = Pmlog.Commit_log.attach v' ~base in
+      Alcotest.check record_list "recovered" [ r1; r2 ] records)
+
+let test_clog_missing_commit_discards () =
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_clog v ~cap_words:128 in
+      ignore (Pmlog.Commit_log.append log [| 7L |]);
+      (* Manually fabricate a record whose commit word never landed:
+         write header + payload, fence, crash before the commit word. *)
+      let pos = base + 64 + (8 * 3) in
+      Region.Pmem.wtstore v pos (Int64.logor (Int64.shift_left 0xC3L 56) 2L);
+      Region.Pmem.wtstore v (pos + 8) 8L;
+      Region.Pmem.wtstore v (pos + 16) 9L;
+      Region.Pmem.fence v;
+      Scm.Crash.inject m;
+      let _, v' = reboot m dir in
+      let _, records = Pmlog.Commit_log.attach v' ~base in
+      Alcotest.check record_list "uncommitted record dropped" [ [| 7L |] ]
+        records)
+
+let test_clog_wraparound () =
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_clog v ~cap_words:32 in
+      for round = 1 to 20 do
+        (match Pmlog.Commit_log.append log (Array.make 6 (Int64.of_int round))
+         with
+        | Pmlog.Commit_log.Appended _ -> ()
+        | Pmlog.Commit_log.Full -> Alcotest.fail "Full");
+        Pmlog.Commit_log.truncate_all log
+      done;
+      ignore (Pmlog.Commit_log.append log [| 99L |]);
+      let _, v' = reboot m dir in
+      let _, records = Pmlog.Commit_log.attach v' ~base in
+      Alcotest.check record_list "stale pre-wrap data ignored" [ [| 99L |] ]
+        records)
+
+let () =
+  Alcotest.run "log"
+    [
+      ( "bitstream",
+        [
+          Alcotest.test_case "stored_words_for" `Quick test_stored_words_for;
+          Alcotest.test_case "roundtrip small" `Quick
+            test_bitstream_roundtrip_small;
+          QCheck_alcotest.to_alcotest prop_bitstream_roundtrip;
+        ] );
+      ( "rawl",
+        [
+          Alcotest.test_case "append and recover" `Quick
+            test_rawl_append_and_recover;
+          Alcotest.test_case "unflushed append lost" `Quick
+            test_rawl_unflushed_append_lost;
+          Alcotest.test_case "torn append detected" `Quick
+            test_rawl_torn_append_detected;
+          Alcotest.test_case "bit flip injection" `Quick
+            test_rawl_bit_flip_injection;
+          Alcotest.test_case "wraparound many passes" `Quick
+            test_rawl_wraparound_many_passes;
+          Alcotest.test_case "full and space accounting" `Quick
+            test_rawl_full_and_space_accounting;
+          Alcotest.test_case "advance head partial" `Quick
+            test_rawl_advance_head_partial;
+          Alcotest.test_case "double crash after recovery" `Quick
+            test_rawl_double_crash_after_recovery;
+          Alcotest.test_case "tornbit rotation" `Quick
+            test_rawl_tornbit_rotation;
+          QCheck_alcotest.to_alcotest prop_rawl_recovery_prefix;
+          QCheck_alcotest.to_alcotest prop_rawl_rotation_roundtrip;
+        ] );
+      ( "commit-log",
+        [
+          Alcotest.test_case "append and recover" `Quick
+            test_clog_append_and_recover;
+          Alcotest.test_case "missing commit discards" `Quick
+            test_clog_missing_commit_discards;
+          Alcotest.test_case "wraparound" `Quick test_clog_wraparound;
+        ] );
+    ]

@@ -1,0 +1,772 @@
+(* Tests for durable memory transactions: atomicity, durability,
+   isolation under the simulator, transactional allocation, recovery
+   ordering across per-thread logs, and async truncation. *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "mnemomtm" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let small_cfg =
+  { Mtm.Txn.default_config with nthreads = 4; log_cap_words = 4096 }
+
+let stack ?(nframes = 4096) ?(seed = 3) dir =
+  let m = Scm.Env.make_machine ~seed ~nframes () in
+  let backing = Region.Backing_store.open_dir dir in
+  let pmem = Region.Pmem.open_instance m backing in
+  (m, pmem)
+
+let reboot (m : Scm.Env.machine) dir =
+  let m' = Scm.Env.machine_of_device m.dev in
+  let backing = Region.Backing_store.open_dir dir in
+  let pmem = Region.Pmem.open_instance m' backing in
+  (m', pmem)
+
+let heap_of pmem =
+  let v = Region.Pmem.default_view pmem in
+  let slot = Region.Pstatic.get v "test.heap" 8 in
+  match Int64.to_int (Region.Pmem.load v slot) with
+  | 0 ->
+      let bytes = Pmheap.Heap.region_bytes_for ~superblocks:16 ~large_bytes:65536 in
+      let base = Region.Pmem.pmap v bytes in
+      Region.Pmem.wtstore v slot (Int64.of_int base);
+      Region.Pmem.fence v;
+      Pmheap.Heap.create v ~base ~superblocks:16 ~large_bytes:65536
+  | base -> Pmheap.Heap.attach v ~base
+
+let pool_of ?(config = small_cfg) pmem =
+  Mtm.Txn.create_pool ~config pmem (Some (heap_of pmem))
+
+let data_region pmem bytes =
+  let v = Region.Pmem.default_view pmem in
+  let slot = Region.Pstatic.get v "test.data" 8 in
+  match Int64.to_int (Region.Pmem.load v slot) with
+  | 0 ->
+      let base = Region.Pmem.pmap v bytes in
+      Region.Pmem.wtstore v slot (Int64.of_int base);
+      Region.Pmem.fence v;
+      base
+  | base -> base
+
+(* ------------------------------------------------------------------ *)
+(* Single-threaded basics *)
+
+let test_commit_visible_and_durable () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 4096 in
+      let th = Mtm.Txn.thread pool 0 (Region.Pmem.default_view pmem).env in
+      Mtm.Txn.run th (fun tx ->
+          Mtm.Txn.store tx data 10L;
+          Mtm.Txn.store tx (data + 8) 20L);
+      let v = Region.Pmem.default_view pmem in
+      Alcotest.(check int64) "visible" 10L (Region.Pmem.load v data);
+      (* survive an adversarial crash: sync truncation already forced
+         the data, and the log was truncated *)
+      Scm.Crash.inject m;
+      let _, pmem' = reboot m dir in
+      let pool' = pool_of pmem' in
+      Alcotest.(check int) "nothing to replay" 0
+        (Mtm.Txn.recovered_txns pool');
+      let v' = Region.Pmem.default_view pmem' in
+      Alcotest.(check int64) "durable w0" 10L (Region.Pmem.load v' data);
+      Alcotest.(check int64) "durable w1" 20L (Region.Pmem.load v' (data + 8)))
+
+let test_user_exception_aborts () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 4096 in
+      let th = Mtm.Txn.thread pool 0 (Region.Pmem.default_view pmem).env in
+      (try
+         Mtm.Txn.run th (fun tx ->
+             Mtm.Txn.store tx data 99L;
+             failwith "boom")
+       with Failure _ -> ());
+      let v = Region.Pmem.default_view pmem in
+      Alcotest.(check int64) "no effect" 0L (Region.Pmem.load v data);
+      Alcotest.(check int) "one abort" 1 (Mtm.Txn.stats pool).aborts)
+
+let test_cancel () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 4096 in
+      let th = Mtm.Txn.thread pool 0 (Region.Pmem.default_view pmem).env in
+      (try
+         Mtm.Txn.run th (fun tx ->
+             Mtm.Txn.store tx data 1L;
+             Mtm.Txn.cancel tx)
+       with Mtm.Txn.Cancelled -> ());
+      let v = Region.Pmem.default_view pmem in
+      Alcotest.(check int64) "cancelled" 0L (Region.Pmem.load v data))
+
+let test_read_your_writes_and_lazy_versioning () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 4096 in
+      let v = Region.Pmem.default_view pmem in
+      Region.Pmem.wtstore v data 5L;
+      Region.Pmem.fence v;
+      let th = Mtm.Txn.thread pool 0 v.env in
+      Mtm.Txn.run th (fun tx ->
+          Alcotest.(check int64) "initial read" 5L (Mtm.Txn.load tx data);
+          Mtm.Txn.store tx data 6L;
+          Alcotest.(check int64) "read own write" 6L (Mtm.Txn.load tx data);
+          (* lazy version management: memory still holds the old value *)
+          Alcotest.(check int64) "memory unmodified during txn" 5L
+            (Region.Pmem.load v data));
+      Alcotest.(check int64) "after commit" 6L (Region.Pmem.load v data))
+
+let test_bytes_roundtrip () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 4096 in
+      let th = Mtm.Txn.thread pool 0 (Region.Pmem.default_view pmem).env in
+      let payload = Bytes.of_string "persistent memory is lightweight!" in
+      Mtm.Txn.run th (fun tx -> Mtm.Txn.write_bytes tx data payload);
+      let got =
+        Mtm.Txn.run th (fun tx ->
+            Mtm.Txn.read_bytes tx data (Bytes.length payload))
+      in
+      Alcotest.(check bytes) "roundtrip" payload got)
+
+let test_nested_flattening () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 4096 in
+      let th = Mtm.Txn.thread pool 0 (Region.Pmem.default_view pmem).env in
+      Mtm.Txn.run th (fun tx ->
+          Mtm.Txn.store tx data 1L;
+          Mtm.Txn.run th (fun tx' -> Mtm.Txn.store tx' (data + 8) 2L);
+          ignore tx);
+      let v = Region.Pmem.default_view pmem in
+      Alcotest.(check int64) "outer" 1L (Region.Pmem.load v data);
+      Alcotest.(check int64) "inner" 2L (Region.Pmem.load v (data + 8));
+      Alcotest.(check int) "one commit" 1 (Mtm.Txn.stats pool).commits)
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery *)
+
+let test_uncommitted_never_applied_committed_replayed () =
+  with_tmpdir (fun dir ->
+      (* Async truncation without a daemon: committed data lives only in
+         the redo log (write-backs are cached and lost in the crash), so
+         recovery must replay it. *)
+      let m, pmem = stack dir in
+      let cfg = { small_cfg with truncation = Mtm.Txn.Async } in
+      let pool = pool_of ~config:cfg pmem in
+      let data = data_region pmem 4096 in
+      let th = Mtm.Txn.thread pool 0 (Region.Pmem.default_view pmem).env in
+      Mtm.Txn.run th (fun tx ->
+          Mtm.Txn.store tx data 77L;
+          Mtm.Txn.store tx (data + 128) 78L);
+      Alcotest.(check int) "pending truncation" 1
+        (Mtm.Txn.pending_truncations th);
+      Scm.Crash.inject
+        ~policy:{ cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_apply_all }
+        m;
+      let _, pmem' = reboot m dir in
+      let pool' = pool_of ~config:cfg pmem' in
+      Alcotest.(check int) "one txn replayed" 1 (Mtm.Txn.recovered_txns pool');
+      let v' = Region.Pmem.default_view pmem' in
+      Alcotest.(check int64) "replayed w0" 77L (Region.Pmem.load v' data);
+      Alcotest.(check int64) "replayed w1" 78L
+        (Region.Pmem.load v' (data + 128)))
+
+let test_recovery_orders_across_threads () =
+  with_tmpdir (fun dir ->
+      (* Two threads write the same address in a known serial order; the
+         logs are per-thread, so only the global timestamps can order
+         the replay. *)
+      let m, pmem = stack dir in
+      let cfg = { small_cfg with truncation = Mtm.Txn.Async } in
+      let pool = pool_of ~config:cfg pmem in
+      let data = data_region pmem 4096 in
+      let v = Region.Pmem.default_view pmem in
+      let th0 = Mtm.Txn.thread pool 0 v.env in
+      let th1 = Mtm.Txn.thread pool 1 v.env in
+      Mtm.Txn.run th0 (fun tx -> Mtm.Txn.store tx data 1L);
+      Mtm.Txn.run th1 (fun tx -> Mtm.Txn.store tx data 2L);
+      Mtm.Txn.run th0 (fun tx -> Mtm.Txn.store tx data 3L);
+      Scm.Crash.inject
+        ~policy:{ cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_apply_all }
+        m;
+      let _, pmem' = reboot m dir in
+      let pool' = pool_of ~config:cfg pmem' in
+      Alcotest.(check int) "three txns replayed" 3
+        (Mtm.Txn.recovered_txns pool');
+      let v' = Region.Pmem.default_view pmem' in
+      Alcotest.(check int64) "timestamp order wins" 3L
+        (Region.Pmem.load v' data))
+
+let test_crash_stress_all_or_nothing () =
+  (* The paper's crash stress test: transactions perform known updates;
+     after a crash, every transaction's writes are either fully present
+     or fully absent. *)
+  let checked = ref 0 in
+  for seed = 0 to 19 do
+    with_tmpdir (fun dir ->
+        let m, pmem = stack ~seed dir in
+        let cfg = { small_cfg with truncation = Mtm.Txn.Async } in
+        let pool = pool_of ~config:cfg pmem in
+        let data = data_region pmem 65536 in
+        let th = Mtm.Txn.thread pool 0 (Region.Pmem.default_view pmem).env in
+        let ntxns = 20 in
+        (* txn i owns words [i*16, i*16+8): writes 8 words, all tagged i+1 *)
+        for i = 0 to ntxns - 1 do
+          Mtm.Txn.run th (fun tx ->
+              for j = 0 to 7 do
+                Mtm.Txn.store tx
+                  (data + (i * 128) + (j * 8))
+                  (Int64.of_int (i + 1))
+              done)
+        done;
+        (* crash with arbitrary subsets of log writes applied *)
+        Scm.Crash.inject m;
+        let _, pmem' = reboot m dir in
+        let _pool' = pool_of ~config:cfg pmem' in
+        let v' = Region.Pmem.default_view pmem' in
+        for i = 0 to ntxns - 1 do
+          let words =
+            List.init 8 (fun j ->
+                Region.Pmem.load v' (data + (i * 128) + (j * 8)))
+          in
+          let expect = Int64.of_int (i + 1) in
+          let all_set = List.for_all (fun w -> w = expect) words in
+          let none_set = List.for_all (fun w -> w = 0L) words in
+          if not (all_set || none_set) then
+            Alcotest.failf "seed %d txn %d torn: %s" seed i
+              (String.concat ","
+                 (List.map Int64.to_string words));
+          incr checked
+        done)
+  done;
+  Alcotest.(check int) "all txns checked" (20 * 20) !checked
+
+(* ------------------------------------------------------------------ *)
+(* Transactional allocation *)
+
+let test_alloc_commits_with_txn () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of pmem in
+      let v = Region.Pmem.default_view pmem in
+      let slot = Region.Pstatic.get v "obj" 8 in
+      let th = Mtm.Txn.thread pool 0 v.env in
+      let addr =
+        Mtm.Txn.run th (fun tx ->
+            let a = Mtm.Txn.alloc tx 64 ~slot in
+            Mtm.Txn.store tx a 42L;
+            a)
+      in
+      Alcotest.(check int64) "slot set" (Int64.of_int addr)
+        (Region.Pmem.load v slot);
+      Scm.Crash.inject m;
+      let _, pmem' = reboot m dir in
+      let heap' = heap_of pmem' in
+      let v' = Region.Pmem.default_view pmem' in
+      Alcotest.(check int64) "slot durable" (Int64.of_int addr)
+        (Region.Pmem.load v' slot);
+      Alcotest.(check int64) "contents durable" 42L (Region.Pmem.load v' addr);
+      (* block is genuinely allocated: freeing through the slot works *)
+      Pmheap.Heap.pfree heap' ~slot;
+      Alcotest.(check int64) "freed" 0L (Region.Pmem.load v' slot))
+
+let test_alloc_aborts_with_txn () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of pmem in
+      let v = Region.Pmem.default_view pmem in
+      let slot = Region.Pstatic.get v "obj" 8 in
+      let th = Mtm.Txn.thread pool 0 v.env in
+      (try
+         Mtm.Txn.run th (fun tx ->
+             let a = Mtm.Txn.alloc tx 64 ~slot in
+             Mtm.Txn.store tx a 42L;
+             failwith "abort it")
+       with Failure _ -> ());
+      Alcotest.(check int64) "slot untouched" 0L (Region.Pmem.load v slot);
+      (* no leak even across a crash: the bitmap bit was never durably
+         set because it only lived in the aborted transaction *)
+      Scm.Crash.inject m;
+      let _, pmem' = reboot m dir in
+      let heap' = heap_of pmem' in
+      let v' = Region.Pmem.default_view pmem' in
+      let slot' = Region.Pstatic.get v' "obj" 8 in
+      (* allocating every 64-byte block must eventually succeed exactly
+         as if the aborted allocation never happened; just check one
+         allocation works and the heap is consistent *)
+      let a = Pmheap.Heap.pmalloc heap' 64 ~slot:slot' in
+      Alcotest.(check bool) "clean state" true (a > 0))
+
+let test_free_in_txn () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      let pool = pool_of pmem in
+      let v = Region.Pmem.default_view pmem in
+      let slot = Region.Pstatic.get v "obj" 8 in
+      let th = Mtm.Txn.thread pool 0 v.env in
+      ignore (Mtm.Txn.run th (fun tx -> Mtm.Txn.alloc tx 64 ~slot));
+      (* free it, but abort: must stay allocated *)
+      (try
+         Mtm.Txn.run th (fun tx ->
+             Mtm.Txn.free tx ~slot;
+             failwith "abort")
+       with Failure _ -> ());
+      Alcotest.(check bool) "still allocated" true
+        (Region.Pmem.load v slot <> 0L);
+      (* now free for real *)
+      Mtm.Txn.run th (fun tx -> Mtm.Txn.free tx ~slot);
+      Alcotest.(check int64) "slot cleared" 0L (Region.Pmem.load v slot);
+      (* double free inside a transaction is rejected *)
+      ignore (Mtm.Txn.run th (fun tx -> Mtm.Txn.alloc tx 64 ~slot));
+      Alcotest.check_raises "double free in txn"
+        (Invalid_argument "Hoard.free: block is not allocated (double free?)")
+        (fun () ->
+          Mtm.Txn.run th (fun tx ->
+              let addr = Mtm.Txn.load tx slot in
+              Mtm.Txn.free tx ~slot;
+              (* restore the slot so we can "free" the same block again *)
+              Mtm.Txn.store tx slot addr;
+              Mtm.Txn.free tx ~slot)))
+
+let test_large_alloc_in_txn () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      let pool = pool_of pmem in
+      let v = Region.Pmem.default_view pmem in
+      let slot = Region.Pstatic.get v "big" 8 in
+      let th = Mtm.Txn.thread pool 0 v.env in
+      let addr = Mtm.Txn.run th (fun tx -> Mtm.Txn.alloc tx 10_000 ~slot) in
+      Alcotest.(check int64) "slot" (Int64.of_int addr)
+        (Region.Pmem.load v slot);
+      (* abort path compensates immediately *)
+      (try
+         Mtm.Txn.run th (fun tx ->
+             ignore (Mtm.Txn.alloc tx 10_000 ~slot:(slot));
+             failwith "abort")
+       with Failure _ -> ());
+      Alcotest.(check int64) "slot still the first block"
+        (Int64.of_int addr) (Region.Pmem.load v slot);
+      Mtm.Txn.run th (fun tx -> Mtm.Txn.free tx ~slot);
+      Alcotest.(check int64) "freed" 0L (Region.Pmem.load v slot))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency under the simulator *)
+
+let sim_env sim (m : Scm.Env.machine) =
+  Scm.Env.view m ~delay:(fun ns -> Sim.delay sim ns)
+    ~now:(fun () -> Sim.now sim)
+
+let test_concurrent_counter_increments () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 4096 in
+      let sim = Sim.create () in
+      let per_thread = 50 in
+      for i = 0 to 3 do
+        Sim.spawn sim (fun () ->
+            let th = Mtm.Txn.thread pool i (sim_env sim m) in
+            for _ = 1 to per_thread do
+              Mtm.Txn.run th (fun tx ->
+                  let v = Mtm.Txn.load tx data in
+                  Mtm.Txn.store tx data (Int64.add v 1L))
+            done)
+      done;
+      Sim.run sim;
+      let v = Region.Pmem.default_view pmem in
+      Alcotest.(check int64) "no lost updates" (Int64.of_int (4 * per_thread))
+        (Region.Pmem.load v data);
+      Alcotest.(check bool) "contention caused aborts" true
+        ((Mtm.Txn.stats pool).aborts > 0))
+
+let test_concurrent_disjoint_scale () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 65536 in
+      let sim = Sim.create () in
+      for i = 0 to 3 do
+        Sim.spawn sim (fun () ->
+            let th = Mtm.Txn.thread pool i (sim_env sim m) in
+            for k = 0 to 24 do
+              Mtm.Txn.run th (fun tx ->
+                  Mtm.Txn.store tx
+                    (data + (i * 16384) + (k * 64))
+                    (Int64.of_int (i + 1)))
+            done)
+      done;
+      Sim.run sim;
+      Alcotest.(check int) "all committed" 100 (Mtm.Txn.stats pool).commits;
+      let v = Region.Pmem.default_view pmem in
+      for i = 0 to 3 do
+        for k = 0 to 24 do
+          Alcotest.(check int64)
+            (Printf.sprintf "thread %d write %d" i k)
+            (Int64.of_int (i + 1))
+            (Region.Pmem.load v (data + (i * 16384) + (k * 64)))
+        done
+      done)
+
+let test_isolation_no_dirty_reads () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 4096 in
+      let sim = Sim.create () in
+      let observed = ref [] in
+      (* writer: sets two words to the same value inside each txn *)
+      Sim.spawn sim (fun () ->
+          let th = Mtm.Txn.thread pool 0 (sim_env sim m) in
+          for k = 1 to 30 do
+            Mtm.Txn.run th (fun tx ->
+                Mtm.Txn.store tx data (Int64.of_int k);
+                Mtm.Txn.store tx (data + 512) (Int64.of_int k))
+          done);
+      (* reader: both words must always agree *)
+      Sim.spawn sim (fun () ->
+          let th = Mtm.Txn.thread pool 1 (sim_env sim m) in
+          for _ = 1 to 60 do
+            let a, b =
+              Mtm.Txn.run th (fun tx ->
+                  let a = Mtm.Txn.load tx data in
+                  let b = Mtm.Txn.load tx (data + 512) in
+                  (a, b))
+            in
+            observed := (a, b) :: !observed;
+            Sim.delay sim 500
+          done);
+      Sim.run sim;
+      List.iter
+        (fun (a, b) ->
+          if a <> b then
+            Alcotest.failf "dirty/torn read observed: %Ld vs %Ld" a b)
+        !observed;
+      Alcotest.(check int) "observations" 60 (List.length !observed))
+
+let test_contention_exception () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let cfg = { small_cfg with max_attempts = 3 } in
+      let pool = pool_of ~config:cfg pmem in
+      let data = data_region pmem 4096 in
+      let sim = Sim.create () in
+      let got_contention = ref false in
+      Sim.spawn sim (fun () ->
+          let th = Mtm.Txn.thread pool 0 (sim_env sim m) in
+          Mtm.Txn.run th (fun tx ->
+              Mtm.Txn.store tx data 1L;
+              (* hold the lock for a long time *)
+              Sim.delay sim 1_000_000));
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 100;
+          let th = Mtm.Txn.thread pool 1 (sim_env sim m) in
+          try Mtm.Txn.run th (fun tx -> Mtm.Txn.store tx data 2L)
+          with Mtm.Txn.Contention -> got_contention := true);
+      Sim.run sim;
+      Alcotest.(check bool) "contention surfaced" true !got_contention)
+
+(* ------------------------------------------------------------------ *)
+(* Async truncation daemon *)
+
+let test_async_daemon_truncates () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let cfg = { small_cfg with truncation = Mtm.Txn.Async } in
+      let pool = pool_of ~config:cfg pmem in
+      let data = data_region pmem 65536 in
+      let sim = Sim.create () in
+      let processed = ref 0 in
+      let th = ref None in
+      Sim.spawn sim (fun () ->
+          let t = Mtm.Txn.thread pool 0 (sim_env sim m) in
+          th := Some t;
+          for k = 0 to 49 do
+            Mtm.Txn.run t (fun tx ->
+                Mtm.Txn.store tx (data + (k * 64)) (Int64.of_int k))
+          done);
+      Sim.spawn sim (fun () ->
+          let dview = Region.Pmem.view pmem (sim_env sim m) in
+          for _ = 1 to 200 do
+            Sim.delay sim 2_000;
+            match !th with
+            | Some t ->
+                processed := !processed + Mtm.Txn.process_truncations t dview
+            | None -> ()
+          done);
+      Sim.run sim;
+      Alcotest.(check int) "daemon consumed every commit" 50 !processed;
+      (match !th with
+      | Some t ->
+          Alcotest.(check int) "queue drained" 0
+            (Mtm.Txn.pending_truncations t)
+      | None -> Alcotest.fail "no thread");
+      (* after the daemon flushed everything, even a hard crash without
+         log replay keeps the data: verify by checking memory directly *)
+      Scm.Crash.inject
+        ~policy:{ cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_drop }
+        m;
+      let _, pmem' = reboot m dir in
+      let v' = Region.Pmem.default_view pmem' in
+      for k = 0 to 49 do
+        Alcotest.(check int64)
+          (Printf.sprintf "word %d survived" k)
+          (Int64.of_int k)
+          (Region.Pmem.load v' (data + (k * 64)))
+      done)
+
+let test_log_full_blocks_until_truncated () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      let cfg =
+        { small_cfg with truncation = Mtm.Txn.Async; log_cap_words = 64 }
+      in
+      let pool = pool_of ~config:cfg pmem in
+      let data = data_region pmem 65536 in
+      let th = Mtm.Txn.thread pool 0 (Region.Pmem.default_view pmem).env in
+      (* each txn writes 4 words -> record spans ~11 stored words; the
+         64-word log fills after a few commits and the producer must
+         self-drain (the paper's stall) rather than fail *)
+      for k = 0 to 19 do
+        Mtm.Txn.run th (fun tx ->
+            for j = 0 to 3 do
+              Mtm.Txn.store tx (data + (k * 256) + (j * 8)) 1L
+            done)
+      done;
+      Alcotest.(check int) "all committed" 20 (Mtm.Txn.stats pool).commits)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_sequential_txns_match_model =
+  QCheck.Test.make ~name:"sequential transactions match a memory model"
+    ~count:25
+    QCheck.(
+      list_of_size Gen.(1 -- 30)
+        (list_of_size Gen.(1 -- 8) (pair (int_bound 255) (int_bound 10_000))))
+    (fun txns ->
+      with_tmpdir (fun dir ->
+          let _, pmem = stack dir in
+          let pool = pool_of pmem in
+          let data = data_region pmem 4096 in
+          let th =
+            Mtm.Txn.thread pool 0 (Region.Pmem.default_view pmem).env
+          in
+          let model = Hashtbl.create 64 in
+          List.iter
+            (fun writes ->
+              Mtm.Txn.run th (fun tx ->
+                  List.iter
+                    (fun (slot, v) ->
+                      Mtm.Txn.store tx (data + (slot * 8)) (Int64.of_int v);
+                      Hashtbl.replace model slot (Int64.of_int v))
+                    writes))
+            txns;
+          let v = Region.Pmem.default_view pmem in
+          Hashtbl.fold
+            (fun slot expected ok ->
+              ok && Region.Pmem.load v (data + (slot * 8)) = expected)
+            model true))
+
+(* ------------------------------------------------------------------ *)
+(* Eager undo logging (the paper's rejected alternative, section 5) *)
+
+let undo_cfg =
+  { small_cfg with version_mgmt = Mtm.Txn.Eager_undo }
+
+let test_undo_commit_and_abort () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      let pool = pool_of ~config:undo_cfg pmem in
+      let data = data_region pmem 4096 in
+      let v = Region.Pmem.default_view pmem in
+      let th = Mtm.Txn.thread pool 0 v.env in
+      Mtm.Txn.run th (fun tx ->
+          Mtm.Txn.store tx data 5L;
+          (* eager version management: memory holds the new value
+             mid-transaction (the opposite of redo's lazy buffering) *)
+          Alcotest.(check int64) "in place during txn" 5L
+            (Region.Pmem.load v data));
+      Alcotest.(check int64) "committed" 5L (Region.Pmem.load v data);
+      (try
+         Mtm.Txn.run th (fun tx ->
+             Mtm.Txn.store tx data 6L;
+             Mtm.Txn.store tx (data + 8) 7L;
+             failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check int64) "rolled back" 5L (Region.Pmem.load v data);
+      Alcotest.(check int64) "second word rolled back" 0L
+        (Region.Pmem.load v (data + 8)))
+
+let test_undo_crash_mid_txn_rolls_back () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of ~config:undo_cfg pmem in
+      let data = data_region pmem 4096 in
+      let v = Region.Pmem.default_view pmem in
+      (* establish a durable baseline *)
+      let th = Mtm.Txn.thread pool 0 v.env in
+      Mtm.Txn.run th (fun tx ->
+          for j = 0 to 7 do
+            Mtm.Txn.store tx (data + (8 * j)) 100L
+          done);
+      let image = Filename.concat dir "crash.img" in
+      (* crash in the middle of a transaction: snapshot the device
+         after the power failure, before any abort path runs *)
+      (try
+         Mtm.Txn.run th (fun tx ->
+             for j = 0 to 7 do
+               Mtm.Txn.store tx (data + (8 * j)) 200L
+             done;
+             Scm.Crash.inject m;
+             Scm.Scm_device.save_image m.dev image;
+             raise Exit)
+       with Exit -> ());
+      (* reboot from the crash image *)
+      let dev = Scm.Scm_device.load_image image in
+      let m' = Scm.Env.machine_of_device dev in
+      let backing = Region.Backing_store.open_dir dir in
+      let pmem' = Region.Pmem.open_instance m' backing in
+      let pool' = pool_of ~config:undo_cfg pmem' in
+      Alcotest.(check int) "one in-flight txn rolled back" 1
+        (Mtm.Txn.recovered_txns pool');
+      let v' = Region.Pmem.default_view pmem' in
+      for j = 0 to 7 do
+        Alcotest.(check int64)
+          (Printf.sprintf "word %d restored" j)
+          100L
+          (Region.Pmem.load v' (data + (8 * j)))
+      done)
+
+let test_undo_alloc_abort_no_leak () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      let pool = pool_of ~config:undo_cfg pmem in
+      let v = Region.Pmem.default_view pmem in
+      let slot = Region.Pstatic.get v "obj" 8 in
+      let th = Mtm.Txn.thread pool 0 v.env in
+      (try
+         Mtm.Txn.run th (fun tx ->
+             ignore (Mtm.Txn.alloc tx 64 ~slot);
+             failwith "abort")
+       with Failure _ -> ());
+      Alcotest.(check int64) "slot restored" 0L (Region.Pmem.load v slot);
+      (* allocate for real: heap state must be clean *)
+      let addr = Mtm.Txn.run th (fun tx -> Mtm.Txn.alloc tx 64 ~slot) in
+      Alcotest.(check int64) "clean allocation" (Int64.of_int addr)
+        (Region.Pmem.load v slot))
+
+let test_undo_concurrent_counter () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of ~config:undo_cfg pmem in
+      let data = data_region pmem 4096 in
+      let sim = Sim.create () in
+      for i = 0 to 3 do
+        Sim.spawn sim (fun () ->
+            let th = Mtm.Txn.thread pool i (sim_env sim m) in
+            for _ = 1 to 25 do
+              Mtm.Txn.run th (fun tx ->
+                  let v = Mtm.Txn.load tx data in
+                  Mtm.Txn.store tx data (Int64.add v 1L))
+            done)
+      done;
+      Sim.run sim;
+      let v = Region.Pmem.default_view pmem in
+      Alcotest.(check int64) "no lost updates" 100L (Region.Pmem.load v data))
+
+let test_undo_rejects_async () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      Alcotest.check_raises "undo + async rejected"
+        (Invalid_argument
+           "Txn.create_pool: undo logging commits by truncation and cannot \
+be asynchronous")
+        (fun () ->
+          ignore
+            (pool_of
+               ~config:{ undo_cfg with truncation = Mtm.Txn.Async }
+               pmem)))
+
+let () =
+  Alcotest.run "mtm"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "commit visible and durable" `Quick
+            test_commit_visible_and_durable;
+          Alcotest.test_case "user exception aborts" `Quick
+            test_user_exception_aborts;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "read your writes, lazy versioning" `Quick
+            test_read_your_writes_and_lazy_versioning;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "nested flattening" `Quick test_nested_flattening;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "uncommitted never applied" `Quick
+            test_uncommitted_never_applied_committed_replayed;
+          Alcotest.test_case "recovery orders across threads" `Quick
+            test_recovery_orders_across_threads;
+          Alcotest.test_case "crash stress all-or-nothing" `Slow
+            test_crash_stress_all_or_nothing;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "alloc commits with txn" `Quick
+            test_alloc_commits_with_txn;
+          Alcotest.test_case "alloc aborts with txn" `Quick
+            test_alloc_aborts_with_txn;
+          Alcotest.test_case "free in txn" `Quick test_free_in_txn;
+          Alcotest.test_case "large alloc in txn" `Quick
+            test_large_alloc_in_txn;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "counter increments" `Quick
+            test_concurrent_counter_increments;
+          Alcotest.test_case "disjoint scale" `Quick
+            test_concurrent_disjoint_scale;
+          Alcotest.test_case "isolation no dirty reads" `Quick
+            test_isolation_no_dirty_reads;
+          Alcotest.test_case "contention exception" `Quick
+            test_contention_exception;
+        ] );
+      ( "truncation",
+        [
+          Alcotest.test_case "async daemon truncates" `Quick
+            test_async_daemon_truncates;
+          Alcotest.test_case "log full blocks until truncated" `Quick
+            test_log_full_blocks_until_truncated;
+        ] );
+      ( "undo",
+        [
+          Alcotest.test_case "commit and abort" `Quick
+            test_undo_commit_and_abort;
+          Alcotest.test_case "crash mid-txn rolls back" `Quick
+            test_undo_crash_mid_txn_rolls_back;
+          Alcotest.test_case "alloc abort no leak" `Quick
+            test_undo_alloc_abort_no_leak;
+          Alcotest.test_case "concurrent counter" `Quick
+            test_undo_concurrent_counter;
+          Alcotest.test_case "rejects async" `Quick test_undo_rejects_async;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_sequential_txns_match_model ] );
+    ]

@@ -1,0 +1,214 @@
+(* Tests for the discrete-event simulator: ordering, mutexes, condition
+   variables, determinism and deadlock detection. *)
+
+let test_delay_ordering () =
+  let sim = Sim.create () in
+  let trace = ref [] in
+  let note tag = trace := (tag, Sim.now sim) :: !trace in
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 100;
+      note "a";
+      Sim.delay sim 200;
+      note "a2");
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 150;
+      note "b");
+  Sim.run sim;
+  Alcotest.(check (list (pair string int)))
+    "interleaved by time"
+    [ ("a", 100); ("b", 150); ("a2", 300) ]
+    (List.rev !trace)
+
+let test_same_time_fifo () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Sim.spawn sim (fun () ->
+        Sim.delay sim 10;
+        order := i :: !order)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "spawn order preserved" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 100;
+      incr fired;
+      Sim.delay sim 100;
+      incr fired);
+  Sim.run ~until:150 sim;
+  Alcotest.(check int) "only first event" 1 !fired;
+  Alcotest.(check int) "clock clamped" 150 (Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "rest completes" 2 !fired;
+  Alcotest.(check int) "final clock" 200 (Sim.now sim)
+
+let test_mutex_serializes () =
+  let sim = Sim.create () in
+  let m = Sim.Mutex_r.create sim in
+  let in_cs = ref 0 and max_in_cs = ref 0 and done_count = ref 0 in
+  for _ = 1 to 4 do
+    Sim.spawn sim (fun () ->
+        Sim.Mutex_r.lock m;
+        incr in_cs;
+        max_in_cs := max !max_in_cs !in_cs;
+        Sim.delay sim 50;
+        decr in_cs;
+        Sim.Mutex_r.unlock m;
+        incr done_count)
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "mutual exclusion" 1 !max_in_cs;
+  Alcotest.(check int) "all finished" 4 !done_count;
+  Alcotest.(check int) "serialized time" 200 (Sim.now sim);
+  Alcotest.(check int) "three waited" 3 (Sim.Mutex_r.contentions m)
+
+let test_mutex_fifo_handoff () =
+  let sim = Sim.create () in
+  let m = Sim.Mutex_r.create sim in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        Sim.delay sim i;  (* arrive in order 1, 2, 3 *)
+        Sim.Mutex_r.lock m;
+        order := i :: !order;
+        Sim.delay sim 100;
+        Sim.Mutex_r.unlock m)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO grant order" [ 1; 2; 3 ]
+    (List.rev !order)
+
+let test_try_lock () =
+  let sim = Sim.create () in
+  let m = Sim.Mutex_r.create sim in
+  let results = ref [] in
+  Sim.spawn sim (fun () ->
+      Alcotest.(check bool) "first try succeeds" true (Sim.Mutex_r.try_lock m);
+      Sim.delay sim 100;
+      Sim.Mutex_r.unlock m);
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 50;
+      results := Sim.Mutex_r.try_lock m :: !results;
+      Sim.delay sim 100;
+      results := Sim.Mutex_r.try_lock m :: !results;
+      Sim.Mutex_r.unlock m);
+  Sim.run sim;
+  Alcotest.(check (list bool)) "busy then free" [ false; true ]
+    (List.rev !results)
+
+let test_cond_group_commit_pattern () =
+  (* The group-commit shape used by the Berkeley DB baseline: followers
+     wait on a condition; the leader flushes once and broadcasts. *)
+  let sim = Sim.create () in
+  let m = Sim.Mutex_r.create sim in
+  let c = Sim.Cond_r.create sim in
+  let flushed = ref false and leader_flushes = ref 0 in
+  let commits = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        Sim.delay sim i;
+        Sim.Mutex_r.lock m;
+        if i = 1 then begin
+          (* leader: simulate a long flush, then release the group *)
+          Sim.delay sim 1000;
+          incr leader_flushes;
+          flushed := true;
+          Sim.Cond_r.broadcast c
+        end
+        else
+          while not !flushed do
+            Sim.Cond_r.wait c m
+          done;
+        commits := (i, Sim.now sim) :: !commits;
+        Sim.Mutex_r.unlock m)
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "one flush for the group" 1 !leader_flushes;
+  List.iter
+    (fun (i, t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "thread %d commits after the flush" i)
+        true (t >= 1001))
+    !commits;
+  Alcotest.(check int) "all committed" 3 (List.length !commits)
+
+let test_deadlock_detection () =
+  let sim = Sim.create () in
+  let m = Sim.Mutex_r.create sim in
+  Sim.spawn sim (fun () ->
+      Sim.Mutex_r.lock m;
+      Sim.Mutex_r.lock m (* self-deadlock *));
+  Alcotest.check_raises "deadlock raises"
+    (Sim.Deadlock "1 process(es) suspended with no events") (fun () ->
+      Sim.run sim)
+
+let test_spawn_from_process () =
+  let sim = Sim.create () in
+  let child_ran = ref false in
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 10;
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 5;
+          child_ran := true));
+  Sim.run sim;
+  Alcotest.(check bool) "child ran" true !child_ran;
+  Alcotest.(check int) "time includes child" 15 (Sim.now sim);
+  Alcotest.(check int) "two processes" 2 (Sim.processes_run sim)
+
+let test_determinism () =
+  let run () =
+    let sim = Sim.create () in
+    let m = Sim.Mutex_r.create sim in
+    let trace = Buffer.create 64 in
+    for i = 1 to 5 do
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (i * 7 mod 3);
+          Sim.Mutex_r.with_lock m (fun () ->
+              Sim.delay sim i;
+              Buffer.add_string trace (Printf.sprintf "%d@%d;" i (Sim.now sim))))
+    done;
+    Sim.run sim;
+    Buffer.contents trace
+  in
+  Alcotest.(check string) "identical traces" (run ()) (run ())
+
+let prop_delays_accumulate =
+  QCheck.Test.make ~name:"sum of delays equals final clock" ~count:100
+    QCheck.(list (int_bound 1000))
+    (fun delays ->
+      let sim = Sim.create () in
+      Sim.spawn sim (fun () -> List.iter (Sim.delay sim) delays);
+      Sim.run sim;
+      Sim.now sim = List.fold_left ( + ) 0 delays)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "scheduling",
+        [
+          Alcotest.test_case "delay ordering" `Quick test_delay_ordering;
+          Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "spawn from process" `Quick
+            test_spawn_from_process;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "mutex",
+        [
+          Alcotest.test_case "serializes" `Quick test_mutex_serializes;
+          Alcotest.test_case "FIFO handoff" `Quick test_mutex_fifo_handoff;
+          Alcotest.test_case "try_lock" `Quick test_try_lock;
+          Alcotest.test_case "deadlock detection" `Quick
+            test_deadlock_detection;
+        ] );
+      ( "cond",
+        [
+          Alcotest.test_case "group commit pattern" `Quick
+            test_cond_group_commit_pattern;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_delays_accumulate ]);
+    ]
