@@ -983,6 +983,84 @@ let ablation_banks () =
     "near-linear scaling presumes device-level write parallelism"
 
 (* ------------------------------------------------------------------ *)
+(* kvstore: the instrumented run behind --trace / --metrics            *)
+
+let trace_file = ref None
+let show_metrics = ref false
+
+(* A steady-state hashtable workload with the observability layer
+   surfaced: the per-phase commit-latency breakdown (paper table 5's
+   spirit: where does a durable transaction spend its time), optionally
+   a Chrome trace of every event and the metrics registry dump. *)
+let kvstore () =
+  Workload.Report.section "kvstore"
+    "instrumented key-value store: commit-phase breakdown (us)";
+  let dir = fresh_dir "kvstore" in
+  let obs = Obs.create ~tracing:(!trace_file <> None) () in
+  let inst = Mnemosyne.open_instance ~geometry ~obs ~dir () in
+  let slot = Mnemosyne.pstatic inst "bench.kv" 8 in
+  let table =
+    Mnemosyne.atomically inst (fun tx ->
+        Pstruct.Phashtable.create tx ~slot ~buckets:1024)
+  in
+  let env = (Mnemosyne.view inst).Region.Pmem.env in
+  let kg = Workload.Keygen.create ~seed:11 () in
+  let lat = Workload.Stats.create () in
+  let lag = 16 in
+  for k = 0 to 499 do
+    let key k = Bytes.of_string (Printf.sprintf "kv%06d" k) in
+    let t0 = env.now () in
+    Mnemosyne.atomically inst (fun tx ->
+        Pstruct.Phashtable.put tx table (key k) (Workload.Keygen.value kg 256));
+    Workload.Stats.add lat (env.now () - t0);
+    if k >= lag then
+      Mnemosyne.atomically inst (fun tx ->
+          ignore (Pstruct.Phashtable.remove tx table (key (k - lag))))
+  done;
+  let m = (Mnemosyne.obs inst).Obs.metrics in
+  let h name = Obs.Metrics.histogram m name in
+  let total = h "mtm.commit.total_ns" in
+  let total_mean = Obs.Metrics.hmean total in
+  let row label hist =
+    let mean = Obs.Metrics.hmean hist in
+    [ label;
+      Printf.sprintf "%.2f" (mean /. 1000.0);
+      Printf.sprintf "%.2f"
+        (float_of_int (Obs.Metrics.percentile hist 50.0) /. 1000.0);
+      Printf.sprintf "%.2f"
+        (float_of_int (Obs.Metrics.percentile hist 99.0) /. 1000.0);
+      Printf.sprintf "%.1f%%"
+        (if total_mean = 0.0 then 0.0 else 100.0 *. mean /. total_mean) ]
+  in
+  Workload.Report.table
+    ~header:[ "commit phase"; "mean"; "p50"; "p99"; "share" ]
+    [
+      row "log write" (h "mtm.commit.log_write_ns");
+      row "fence (durability)" (h "mtm.commit.fence_ns");
+      row "write-back + truncate" (h "mtm.commit.write_back_ns");
+      row "stm bookkeeping" (h "mtm.commit.stm_ns");
+      row "total" total;
+    ];
+  Workload.Report.note
+    (Printf.sprintf "%d commits; whole-txn latency %.2f us mean, %.2f us p99"
+       (Obs.Metrics.hcount total) (Workload.Stats.mean_us lat)
+       (float_of_int (Workload.Stats.percentile_ns lat 99.0) /. 1000.0));
+  (match (!trace_file, (Mnemosyne.obs inst).Obs.trace) with
+  | Some file, Some tr ->
+      let oc = open_out file in
+      output_string oc (Obs.Trace.to_chrome_json tr);
+      close_out oc;
+      Workload.Report.note
+        (Printf.sprintf
+           "chrome trace: %d events -> %s (%d dropped); load in \
+            chrome://tracing or Perfetto"
+           (Obs.Trace.length tr) file (Obs.Trace.dropped tr));
+      print_string (Obs.Trace.summary tr)
+  | _ -> ());
+  if !show_metrics then print_string (Obs.Metrics.dump m);
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
 (* Table 1 (context)                                                   *)
 
 let table1 () =
@@ -1070,6 +1148,7 @@ let all_sections =
     ("ablation_wear", ablation_wear);
     ("ablation_tornbit", ablation_tornbit_rotation);
     ("ablation_banks", ablation_banks);
+    ("kvstore", kvstore);
   ]
 
 let () =
@@ -1077,12 +1156,36 @@ let () =
   Fun.protect
     ~finally:(fun () -> rm_rf tmp_root)
     (fun () ->
-      let args = List.tl (Array.to_list Sys.argv) in
+      let rec parse = function
+        | [] -> []
+        | "--trace" :: file :: rest
+          when String.length file > 0 && file.[0] <> '-' ->
+            (* fail before the run, not after a few minutes of benching *)
+            (try close_out (open_out file)
+             with Sys_error msg ->
+               Printf.eprintf "bench: cannot write trace file: %s\n" msg;
+               exit 2);
+            trace_file := Some file;
+            parse rest
+        | "--trace" :: _ ->
+            prerr_endline "bench: --trace requires a FILE argument";
+            exit 2
+        | "--metrics" :: rest ->
+            show_metrics := true;
+            parse rest
+        | a :: rest -> a :: parse rest
+      in
+      let args = parse (List.tl (Array.to_list Sys.argv)) in
       if List.mem "--wallclock" args then wallclock ()
       else begin
         let wanted = List.filter (fun a -> a <> "--wallclock") args in
         let selected =
-          if wanted = [] then all_sections
+          if wanted = [] then
+            (* --trace/--metrics alone mean "show me the instrumented
+               run", not "trace all thirteen sections" *)
+            if !trace_file <> None || !show_metrics then
+              [ ("kvstore", kvstore) ]
+            else all_sections
           else
             List.filter
               (fun (name, _) ->

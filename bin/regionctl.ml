@@ -4,7 +4,8 @@
    statistics, every persistent region with its backing file, the
    pstatic directory, heap occupancy and per-thread transaction logs.
 
-   Usage: regionctl DIR
+   Usage: regionctl DIR            full inspection (default command)
+          regionctl stats DIR      occupancy summary: regions, heap, logs
 *)
 
 open Cmdliner
@@ -78,6 +79,58 @@ let run dir level =
     0
   end
 
+(* stats: region + heap + log occupancy, plus the recovery-time
+   observability counters. *)
+let run_stats dir =
+  if not (Sys.file_exists dir) then begin
+    Printf.eprintf "regionctl: no instance at %s\n" dir;
+    1
+  end
+  else begin
+    let inst = Mnemosyne.open_instance ~dir () in
+    let pmem = Mnemosyne.pmem inst in
+    let mgr = Region.Pmem.manager pmem in
+    let dev = (Mnemosyne.machine inst).dev in
+    Printf.printf "Mnemosyne instance: %s\n\n" dir;
+
+    let nframes = Scm.Scm_device.nframes dev in
+    let free = Region.Manager.free_frames mgr in
+    let resident = Region.Manager.resident_frames mgr in
+    Printf.printf
+      "frames: %d total, %d free, %d resident (%.1f%% occupied)\n" nframes
+      free resident
+      (100.0 *. float_of_int (nframes - free) /. float_of_int nframes);
+    let regions = Region.Pmem.regions pmem in
+    let region_bytes = List.fold_left (fun acc (_, len) -> acc + len) 0 regions in
+    Printf.printf "regions: %d mapped, %d bytes total\n"
+      (List.length regions) region_bytes;
+
+    let occ = Pmheap.Heap.occupancy (Mnemosyne.heap inst) in
+    Printf.printf
+      "heap:   %d/%d superblocks assigned; large area %d bytes, %d free \
+       (%.1f%% used)\n"
+      occ.assigned_superblocks occ.superblocks occ.large_bytes
+      occ.large_free_bytes
+      (100.0
+      *. float_of_int (occ.large_bytes - occ.large_free_bytes)
+      /. float_of_int (max 1 occ.large_bytes));
+
+    Printf.printf "transaction logs:\n";
+    List.iter
+      (fun u ->
+        Printf.printf
+          "  slot %d  base %#014x  %d/%d words used (%.1f%%)\n" u.Mtm.Txn.slot
+          u.Mtm.Txn.base u.Mtm.Txn.used u.Mtm.Txn.cap_words
+          (100.0 *. float_of_int u.Mtm.Txn.used
+          /. float_of_int u.Mtm.Txn.cap_words))
+      (Mtm.Txn.log_usage (Mnemosyne.pool inst));
+
+    Printf.printf "\ncounters since open (recovery path):\n";
+    print_string (Obs.Metrics.dump (Mnemosyne.obs inst).Obs.metrics);
+    Mnemosyne.close inst;
+    0
+  end
+
 let dir =
   Arg.(
     required
@@ -90,9 +143,35 @@ let level =
     & info [ "level" ]
         ~doc:"Run a wear-leveling pass over hot frames before closing.")
 
-let cmd =
-  Cmd.v
-    (Cmd.info "regionctl" ~doc:"Inspect a Mnemosyne instance")
-    Term.(const run $ dir $ level)
+let inspect_term = Term.(const run $ dir $ level)
 
-let () = exit (Cmd.eval' cmd)
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Full inspection (the default command)")
+    inspect_term
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Region, heap and log occupancy summary")
+    Term.(const run_stats $ dir)
+
+let cmd =
+  Cmd.group ~default:inspect_term
+    (Cmd.info "regionctl" ~doc:"Inspect a Mnemosyne instance")
+    [ inspect_cmd; stats_cmd ]
+
+(* Back-compat: `regionctl DIR` (no subcommand) still inspects. *)
+let () =
+  let argv =
+    let a = Sys.argv in
+    if
+      Array.length a > 1
+      && (not (List.mem a.(1) [ "inspect"; "stats" ]))
+      && String.length a.(1) > 0
+      && a.(1).[0] <> '-'
+    then
+      Array.concat
+        [ [| a.(0); "inspect" |]; Array.sub a 1 (Array.length a - 1) ]
+    else a
+  in
+  exit (Cmd.eval' ~argv cmd)

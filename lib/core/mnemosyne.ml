@@ -34,6 +34,7 @@ type t = {
 }
 
 let machine t = t.machine
+let obs t = t.machine.Scm.Env.obs
 let pmem t = t.pmem
 let heap t = t.heap
 let pool t = t.pool
@@ -46,13 +47,14 @@ let backing_path dir = Filename.concat dir "backing"
 
 let open_instance ?(geometry = default_geometry)
     ?(latency = Scm.Latency_model.default)
-    ?(mtm = Mtm.Txn.default_config) ?(seed = 42) ~dir () =
+    ?(mtm = Mtm.Txn.default_config) ?(seed = 42) ?obs ~dir () =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let machine =
     if Sys.file_exists (image_path dir) then
       let dev = Scm.Scm_device.load_image (image_path dir) in
-      Scm.Env.machine_of_device ~latency ~seed dev
-    else Scm.Env.make_machine ~latency ~seed ~nframes:geometry.scm_frames ()
+      Scm.Env.machine_of_device ~latency ~seed ?obs dev
+    else
+      Scm.Env.make_machine ~latency ~seed ?obs ~nframes:geometry.scm_frames ()
   in
   let backing = Region.Backing_store.open_dir (backing_path dir) in
   let pmem = Region.Pmem.open_instance machine backing in
@@ -105,8 +107,10 @@ let close t =
 let reincarnate t =
   Scm.Crash.inject t.machine;
   Scm.Scm_device.save_image t.machine.dev (image_path t.dir);
+  (* keep the same observability handle so metrics and the trace span
+     the crash *)
   open_instance ~geometry:t.geometry ~latency:t.latency ~mtm:t.mtm_cfg
-    ~seed:(t.seed + 1) ~dir:t.dir ()
+    ~seed:(t.seed + 1) ~obs:t.machine.Scm.Env.obs ~dir:t.dir ()
 
 (* ------------------------------------------------------------------ *)
 (* Table-3 API                                                         *)

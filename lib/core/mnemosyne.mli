@@ -39,6 +39,7 @@ val open_instance :
   ?latency:Scm.Latency_model.t ->
   ?mtm:Mtm.Txn.config ->
   ?seed:int ->
+  ?obs:Obs.t ->
   dir:string ->
   unit ->
   t
@@ -59,6 +60,14 @@ val close : t -> unit
 (** {1 Accessors for the layered APIs} *)
 
 val machine : t -> Scm.Env.machine
+
+val obs : t -> Obs.t
+(** The machine's observability handle: counters and commit-latency
+    histograms are always on; call {!Obs.enable_trace} on it (or pass
+    [?obs] with tracing enabled to {!open_instance}) to also record
+    trace events.  {!reincarnate} carries the handle across the crash,
+    so metrics span reboots. *)
+
 val pmem : t -> Region.Pmem.t
 val heap : t -> Pmheap.Heap.t
 val pool : t -> Mtm.Txn.pool

@@ -20,7 +20,16 @@ type t = {
   large : Large_alloc.t;
   mutable exclusion : (unit -> unit) -> unit;
   reincarnation : reincarnation;
+  obs : Obs.t;
+  alloc_ctr : Obs.Metrics.counter;
+  free_ctr : Obs.Metrics.counter;
 }
+
+let obs_fields v =
+  let obs = v.Pmem.env.Scm.Env.machine.Scm.Env.obs in
+  ( obs,
+    Obs.Metrics.counter obs.Obs.metrics "heap.allocs",
+    Obs.Metrics.counter obs.Obs.metrics "heap.frees" )
 
 let region_bytes_for ~superblocks ~large_bytes =
   header_page + alog_bytes
@@ -55,8 +64,9 @@ let create v ~base ~superblocks ~large_bytes =
   Pmem.fence v;
   Pmem.wtstore v base magic;
   Pmem.fence v;
+  let obs, alloc_ctr, free_ctr = obs_fields v in
   { v; base; hoard; large; exclusion = (fun f -> f ());
-    reincarnation = no_reincarnation }
+    reincarnation = no_reincarnation; obs; alloc_ctr; free_ctr }
 
 let attach v ~base =
   if Pmem.load v base <> magic then failwith "Heap.attach: no heap here";
@@ -74,12 +84,16 @@ let attach v ~base =
     + (replayed * 1_000)
   in
   v.env.Scm.Env.delay scavenge_ns;
+  let obs, alloc_ctr, free_ctr = obs_fields v in
   {
     v;
     base;
     hoard;
     large;
     exclusion = (fun f -> f ());
+    obs;
+    alloc_ctr;
+    free_ctr;
     reincarnation =
       {
         log_records_replayed = replayed;
@@ -99,10 +113,16 @@ let excl t f =
 
 let alloc ?arena t size ~extra =
   if size <= 0 then invalid_arg "Heap.pmalloc: size";
+  Obs.Metrics.incr t.alloc_ctr;
+  Obs.instant_at t.obs Obs.Trace.Heap_alloc
+    ~ts:(t.v.Pmem.env.Scm.Env.now ()) ~arg:size;
   if size <= Hoard.max_block_bytes then Hoard.alloc ?arena t.hoard size ~extra
   else Large_alloc.alloc t.large size ~extra
 
 let free t addr ~extra =
+  Obs.Metrics.incr t.free_ctr;
+  Obs.instant_at t.obs Obs.Trace.Heap_free
+    ~ts:(t.v.Pmem.env.Scm.Env.now ()) ~arg:addr;
   if Hoard.owns t.hoard addr then Hoard.free t.hoard addr ~extra
   else if Large_alloc.owns t.large addr then
     Large_alloc.free t.large addr ~extra
@@ -137,3 +157,18 @@ let free_prepare_small t ~load addr =
   excl t (fun () -> Hoard.free_prepare t.hoard ~load addr)
 
 let free_commit_small t addr = excl t (fun () -> Hoard.free_commit t.hoard addr)
+
+type occupancy = {
+  superblocks : int;
+  assigned_superblocks : int;
+  large_bytes : int;
+  large_free_bytes : int;
+}
+
+let occupancy t =
+  {
+    superblocks = Int64.to_int (Pmem.load t.v (sb_count_addr t.base));
+    assigned_superblocks = Hoard.assigned_superblocks t.hoard;
+    large_bytes = Int64.to_int (Pmem.load t.v (large_len_addr t.base));
+    large_free_bytes = Large_alloc.free_bytes t.large;
+  }

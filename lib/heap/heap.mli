@@ -79,3 +79,16 @@ type reincarnation = {
 
 val reincarnation : t -> reincarnation
 (** Statistics from the last {!attach} ({!create} reports zeros). *)
+
+type occupancy = {
+  superblocks : int;  (** Superblocks in the heap. *)
+  assigned_superblocks : int;  (** Of which hold live size classes. *)
+  large_bytes : int;  (** Size of the large-allocation area. *)
+  large_free_bytes : int;  (** Unallocated bytes in that area. *)
+}
+
+val occupancy : t -> occupancy
+(** Current space usage, for inspection tools ([regionctl stats]).
+    Allocations and frees also feed the [heap.allocs]/[heap.frees]
+    counters and emit [Heap_alloc]/[Heap_free] trace events on the
+    machine's {!Obs.t}. *)

@@ -124,15 +124,20 @@ let append t payload =
   let span = Bitstream.stored_words_for (n + 1) in
   if span > free_words t then Full
   else begin
+    let env = t.v.env in
+    let obs = env.Scm.Env.machine.obs in
+    let t0 = env.Scm.Env.now () in
     (* The paper charges the bit manipulation per word streamed; this is
        the cost that makes tornbit lose to a commit record for large
        records (table 6). *)
-    t.v.env.Scm.Env.delay
-      ((n + 1) * t.v.env.Scm.Env.machine.latency.bit_pack_ns_per_word);
+    env.Scm.Env.delay ((n + 1) * env.Scm.Env.machine.latency.bit_pack_ns_per_word);
     let packer = Bitstream.Packer.create ~emit:(fun c -> write_stored t c) in
     Bitstream.Packer.push packer (Int64.of_int n);
     Array.iter (Bitstream.Packer.push packer) payload;
     Bitstream.Packer.flush packer;
+    Obs.Metrics.incr (Obs.Metrics.counter obs.Obs.metrics "log.appends");
+    Obs.complete obs Obs.Trace.Log_append ~ts:t0
+      ~dur:(env.Scm.Env.now () - t0) ~arg:span;
     Appended span
   end
 
@@ -162,19 +167,28 @@ let rotate_generation t =
   t.passes <- 0;
   set_head t ~off:0 ~parity:1 ~tpos
 
+let note_truncate t ~words =
+  let obs = t.v.env.Scm.Env.machine.Scm.Env.obs in
+  Obs.Metrics.incr (Obs.Metrics.counter obs.Obs.metrics "log.truncations");
+  Obs.instant_at obs Obs.Trace.Log_truncate ~ts:(t.v.env.Scm.Env.now ())
+    ~arg:words
+
 let truncate_all t =
+  let words = used_words t in
   if t.rotate && t.passes >= rotate_period then rotate_generation t
-  else set_head t ~off:t.tail_off ~parity:t.tail_parity ~tpos:t.tail_tpos
+  else set_head t ~off:t.tail_off ~parity:t.tail_parity ~tpos:t.tail_tpos;
+  note_truncate t ~words
 
 let advance_head t ~words =
   if words < 0 || words > used_words t then
     invalid_arg "Rawl.advance_head: beyond tail";
   let raw = t.head_off + words in
-  if raw >= t.cap then begin
-    let parity, tpos = next_pass t ~parity:t.head_parity ~tpos:t.head_tpos in
-    set_head t ~off:(raw - t.cap) ~parity ~tpos
-  end
-  else set_head t ~off:raw ~parity:t.head_parity ~tpos:t.head_tpos
+  (if raw >= t.cap then begin
+     let parity, tpos = next_pass t ~parity:t.head_parity ~tpos:t.head_tpos in
+     set_head t ~off:(raw - t.cap) ~parity ~tpos
+   end
+   else set_head t ~off:raw ~parity:t.head_parity ~tpos:t.head_tpos);
+  note_truncate t ~words
 
 (* ------------------------------------------------------------------ *)
 (* Recovery *)

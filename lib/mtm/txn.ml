@@ -35,10 +35,22 @@ type pool = {
   ts : Timestamp.t;
   cfg : config;
   log_bases : int array;
+  mutable logs : Pmlog.Rawl.t array;
+      (* recovery-time handles, for inspection *)
+  obs : Obs.t;
+  (* per-phase commit-latency breakdown (paper table 5's spirit) *)
+  h_total : Obs.Metrics.histogram;
+  h_log_write : Obs.Metrics.histogram;
+  h_fence : Obs.Metrics.histogram;
+  h_write_back : Obs.Metrics.histogram;
+  h_stm : Obs.Metrics.histogram;
   mutable recovered : int;
   mutable commits : int;
   mutable aborts : int;
   mutable ro_commits : int;
+  mutable retries : int;
+  mutable contention_failures : int;
+  mutable log_full_stalls : int;
 }
 
 type thread = {
@@ -67,20 +79,47 @@ and txn = {
 
 type t = txn
 
-type stats = { commits : int; aborts : int; read_only_commits : int }
+type stats = {
+  commits : int;
+  aborts : int;
+  read_only_commits : int;
+  retries : int;
+  contention_failures : int;
+  log_full_stalls : int;
+}
 
 let config pool = pool.cfg
 let pmem pool = pool.pmem
 let recovered_txns pool = pool.recovered
+let obs pool = pool.obs
 
 let stats (pool : pool) =
   { commits = pool.commits; aborts = pool.aborts;
-    read_only_commits = pool.ro_commits }
+    read_only_commits = pool.ro_commits; retries = pool.retries;
+    contention_failures = pool.contention_failures;
+    log_full_stalls = pool.log_full_stalls }
 
 let reset_stats (pool : pool) =
   pool.commits <- 0;
   pool.aborts <- 0;
-  pool.ro_commits <- 0
+  pool.ro_commits <- 0;
+  pool.retries <- 0;
+  pool.contention_failures <- 0;
+  pool.log_full_stalls <- 0
+
+type log_usage = { slot : int; base : int; cap_words : int; used : int }
+
+(* Occupancy as of the recovery-time attach (thread-local handles made
+   by {!thread} advance independently); regionctl reads this right
+   after opening an instance, where it is exact. *)
+let log_usage pool =
+  Array.to_list
+    (Array.mapi
+       (fun i log ->
+         { slot = i; base = pool.log_bases.(i);
+           cap_words = Pmlog.Rawl.capacity log;
+           used = Pmlog.Rawl.used_words log })
+       pool.logs)
 
 (* ------------------------------------------------------------------ *)
 (* Pool creation and recovery                                          *)
@@ -110,6 +149,8 @@ let create_pool ?(config = default_config) pmem heap =
       "Txn.create_pool: undo logging commits by truncation and cannot be \
        asynchronous";
   let v = Pmem.default_view pmem in
+  let obs = v.Pmem.env.Scm.Env.machine.Scm.Env.obs in
+  let m = obs.Obs.metrics in
   let pool =
     {
       pmem;
@@ -118,10 +159,20 @@ let create_pool ?(config = default_config) pmem heap =
       ts = Timestamp.create ();
       cfg = config;
       log_bases = Array.make config.nthreads 0;
+      logs = [||];
+      obs;
+      h_total = Obs.Metrics.histogram m "mtm.commit.total_ns";
+      h_log_write = Obs.Metrics.histogram m "mtm.commit.log_write_ns";
+      h_fence = Obs.Metrics.histogram m "mtm.commit.fence_ns";
+      h_write_back = Obs.Metrics.histogram m "mtm.commit.write_back_ns";
+      h_stm = Obs.Metrics.histogram m "mtm.commit.stm_ns";
       recovered = 0;
       commits = 0;
       aborts = 0;
       ro_commits = 0;
+      retries = 0;
+      contention_failures = 0;
+      log_full_stalls = 0;
     }
   in
   (* Recovery: gather complete records from every thread log, replay in
@@ -134,6 +185,7 @@ let create_pool ?(config = default_config) pmem heap =
            pool.log_bases.(i) <- base;
            Pmlog.Rawl.attach v ~base))
   in
+  pool.logs <- Array.of_list (List.map fst logs_and_records);
   (match config.version_mgmt with
   | Lazy_redo ->
       (* Redo: every surviving record is a committed transaction; replay
@@ -144,7 +196,9 @@ let create_pool ?(config = default_config) pmem heap =
         |> List.sort (fun a b -> compare a.Redo_log.ts b.Redo_log.ts)
       in
       List.iter
-        (fun { Redo_log.ts = _; writes } ->
+        (fun { Redo_log.ts; writes } ->
+          Obs.instant_at obs Obs.Trace.Recovery_replay
+            ~ts:(v.Pmem.env.Scm.Env.now ()) ~arg:ts;
           List.iter (fun (addr, value) -> Pmem.wtstore v addr value) writes)
         records;
       if records <> [] then begin
@@ -174,6 +228,9 @@ let create_pool ?(config = default_config) pmem heap =
               records
           in
           if undo_entries <> [] then begin
+            Obs.instant_at obs Obs.Trace.Recovery_replay
+              ~ts:(v.Pmem.env.Scm.Env.now ())
+              ~arg:(List.length undo_entries);
             List.iter
               (fun (addr, old) -> Pmem.wtstore v addr old)
               (List.rev undo_entries);
@@ -452,7 +509,14 @@ let append_record tx record =
         else begin
           (* "If the log manager thread is unable to execute, program
              threads may stall until there is free log space." *)
+          let pool = tx.th.pool in
+          pool.log_full_stalls <- pool.log_full_stalls + 1;
+          let env = tx.th.view.Pmem.env in
+          let t0 = env.Scm.Env.now () in
           drain_truncations_blocking tx.th;
+          Obs.complete pool.obs Obs.Trace.Log_stall ~ts:t0
+            ~dur:(env.Scm.Env.now () - t0)
+            ~arg:(Queue.length tx.th.pending_q);
           if retried > 1 then
             failwith "Txn: log full and nothing left to truncate";
           try_append (retried + 1)
@@ -469,37 +533,54 @@ let finalize_heap_effects tx =
       List.iter (fun addr -> Pmheap.Heap.pfree_raw heap addr) tx.large_frees
   | None -> ()
 
+(* Each commit path returns its (log_write, fence, write_back)
+   simulated-ns breakdown; {!commit} charges the remainder to the STM
+   bookkeeping bucket so the four phases sum to the total exactly. *)
 let commit_redo tx =
   let th = tx.th in
   let pool = th.pool in
+  let now () = th.view.Pmem.env.Scm.Env.now () in
   let cts = Timestamp.next pool.ts th.view.Pmem.env in
   let writes =
     Hashtbl.fold (fun a v acc -> (a, v) :: acc) tx.wset []
     |> List.sort compare
   in
   let record = Redo_log.encode ~ts:cts writes in
+  let t0 = now () in
   let span = append_record tx record in
+  let t1 = now () in
   Pmlog.Rawl.flush th.log;  (* the durability point: one fence *)
+  let t2 = now () in
   List.iter (fun (a, v) -> Pmem.store th.view a v) writes;
   (match pool.cfg.truncation with
   | Sync ->
       flush_writes th.view writes;
       Pmlog.Rawl.truncate_all th.log
   | Async -> Queue.push { span; writes } th.pending_q);
-  release_locks tx ~committed:true ~version:cts
+  let t3 = now () in
+  release_locks tx ~committed:true ~version:cts;
+  (t1 - t0, t2 - t1, t3 - t2)
 
 let commit_undo tx =
   let th = tx.th in
   let pool = th.pool in
+  let now () = th.view.Pmem.env.Scm.Env.now () in
   let cts = Timestamp.next pool.ts th.view.Pmem.env in
   (* new values are already in place; make them durable, then the
-     atomic log truncation is the commit point *)
+     atomic log truncation is the commit point.  The per-store log
+     appends were charged eagerly in {!store}, so log_write is 0. *)
+  let t0 = now () in
   flush_writes th.view tx.undo_list;
+  let t1 = now () in
   Pmlog.Rawl.truncate_all th.log;
-  release_locks tx ~committed:true ~version:cts
+  let t2 = now () in
+  release_locks tx ~committed:true ~version:cts;
+  (0, t2 - t1, t1 - t0)
 
 let commit tx =
   let pool = tx.th.pool in
+  let env = tx.th.view.Pmem.env in
+  let t0 = env.Scm.Env.now () in
   delay tx (latency tx).txn_commit_ns;
   let read_only =
     match pool.cfg.version_mgmt with
@@ -512,10 +593,24 @@ let commit tx =
   end
   else if not (validate tx) then false
   else begin
-    (match pool.cfg.version_mgmt with
-    | Lazy_redo -> commit_redo tx
-    | Eager_undo -> commit_undo tx);
+    let ws_size =
+      match pool.cfg.version_mgmt with
+      | Lazy_redo -> Hashtbl.length tx.wset
+      | Eager_undo -> Hashtbl.length tx.old_vals
+    in
+    let lw, fe, wb =
+      match pool.cfg.version_mgmt with
+      | Lazy_redo -> commit_redo tx
+      | Eager_undo -> commit_undo tx
+    in
     finalize_heap_effects tx;
+    let total = env.Scm.Env.now () - t0 in
+    Obs.Metrics.record pool.h_total total;
+    Obs.Metrics.record pool.h_log_write lw;
+    Obs.Metrics.record pool.h_fence fe;
+    Obs.Metrics.record pool.h_write_back wb;
+    Obs.Metrics.record pool.h_stm (max 0 (total - lw - fe - wb));
+    Obs.complete pool.obs Obs.Trace.Txn_commit ~ts:t0 ~dur:total ~arg:ws_size;
     pool.commits <- pool.commits + 1;
     true
   end
@@ -543,14 +638,23 @@ let run th f =
   match th.current with
   | Some tx -> f tx  (* flat nesting *)
   | None ->
+      let pool = th.pool in
+      Obs.set_tid pool.obs th.id;
       let rec attempt n =
-        if n > th.pool.cfg.max_attempts then raise Contention;
+        if n > pool.cfg.max_attempts then begin
+          pool.contention_failures <- pool.contention_failures + 1;
+          raise Contention
+        end;
         th.view.Pmem.env.delay (th.view.Pmem.env.machine.latency.txn_begin_ns);
+        Obs.instant pool.obs Obs.Trace.Txn_begin ~arg:n;
         let tx = fresh_txn th in
         th.current <- Some tx;
         let finish_abort () =
           th.current <- None;
           rollback tx;
+          Obs.instant pool.obs Obs.Trace.Txn_abort ~arg:n;
+          pool.retries <- pool.retries + 1;
+          Obs.instant pool.obs Obs.Trace.Txn_retry ~arg:(n + 1);
           (* randomized backoff before retrying *)
           th.view.Pmem.env.delay
             (100 * n * (1 + Random.State.int th.rng 4));

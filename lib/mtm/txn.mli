@@ -142,9 +142,33 @@ val drain_truncations_blocking : thread -> unit
 (** Producer-side fallback when the log is full and no daemon keeps up:
     process this thread's own queue synchronously. *)
 
-(** {1 Statistics} *)
+(** {1 Statistics and observability} *)
 
-type stats = { commits : int; aborts : int; read_only_commits : int }
+type stats = {
+  commits : int;
+  aborts : int;
+  read_only_commits : int;
+  retries : int;  (** Aborted attempts that were retried. *)
+  contention_failures : int;  (** [run] calls that raised {!Contention}. *)
+  log_full_stalls : int;
+      (** Commits that blocked on a full log draining its own
+          truncation queue (paper figure 6's stall regime). *)
+}
 
 val stats : pool -> stats
 val reset_stats : pool -> unit
+
+val obs : pool -> Obs.t
+(** The observability handle of the machine this pool runs on.  Commit
+    latencies feed the [mtm.commit.*_ns] histograms on its metrics
+    registry (total / log_write / fence / write_back / stm, the paper
+    table-5 breakdown); transaction lifecycle events feed its trace
+    when tracing is enabled. *)
+
+type log_usage = { slot : int; base : int; cap_words : int; used : int }
+
+val log_usage : pool -> log_usage list
+(** Per-thread-slot log occupancy as of pool creation (recovery-time
+    attach).  Thread-local handles advance independently afterwards, so
+    this is exact only before threads run — which is when inspection
+    tools ([regionctl stats]) read it. *)

@@ -1,0 +1,55 @@
+module Metrics = Metrics
+module Trace = Trace
+
+type t = {
+  metrics : Metrics.t;
+  mutable trace : Trace.t option;
+  mutable clock : unit -> int;
+  mutable cur_tid : int;
+}
+
+let create ?(tracing = false) ?trace_capacity () =
+  {
+    metrics = Metrics.create ();
+    trace =
+      (if tracing then Some (Trace.create ?capacity:trace_capacity ())
+       else None);
+    clock = (fun () -> 0);
+    cur_tid = 0;
+  }
+
+let tracing t = t.trace <> None
+
+let enable_trace ?capacity t =
+  if t.trace = None then t.trace <- Some (Trace.create ?capacity ())
+
+let disable_trace t = t.trace <- None
+let set_clock t f = t.clock <- f
+let now t = t.clock ()
+let set_tid t tid = t.cur_tid <- tid
+
+let instant t kind ~arg =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.instant tr ~tid:t.cur_tid ~ts:(t.clock ()) kind ~arg
+
+let instant_at t kind ~ts ~arg =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.instant tr ~tid:t.cur_tid ~ts kind ~arg
+
+let complete t kind ~ts ~dur ~arg =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.complete tr ~tid:t.cur_tid ~ts ~dur kind ~arg
+
+let span t kind ~arg f =
+  match t.trace with
+  | None -> f ()
+  | Some tr ->
+      let ts = t.clock () in
+      let result = f () in
+      Trace.complete tr ~tid:t.cur_tid ~ts
+        ~dur:(max 0 (t.clock () - ts))
+        kind ~arg;
+      result

@@ -1,0 +1,54 @@
+(** Observability: one handle bundling a metrics registry, an optional
+    event trace, and the simulated clock they are stamped with.
+
+    One [Obs.t] belongs to one simulated machine ({!Scm.Env.machine})
+    and is threaded through every layer above it.  Metrics are always
+    live — recording them never charges simulated time, so they cannot
+    perturb an experiment.  Tracing is off by default; every
+    instrumentation hook is guarded so that a disabled trace costs a
+    single branch ([trace t = None]).
+
+    Timestamps come either from the caller (layers that hold an
+    {!Scm.Env.t} pass [env.now ()] explicitly) or from the handle's
+    clock, which environment creation keeps pointed at the most
+    recently created environment's clock — under the discrete-event
+    simulator all environments share one clock, so any of them is the
+    truth. *)
+
+module Metrics = Metrics
+module Trace = Trace
+
+type t = {
+  metrics : Metrics.t;
+  mutable trace : Trace.t option;
+  mutable clock : unit -> int;
+  mutable cur_tid : int;
+}
+
+val create : ?tracing:bool -> ?trace_capacity:int -> unit -> t
+(** A fresh handle; metrics on, trace off unless [tracing]. *)
+
+val tracing : t -> bool
+val enable_trace : ?capacity:int -> t -> unit
+val disable_trace : t -> unit
+
+val set_clock : t -> (unit -> int) -> unit
+val now : t -> int
+
+val set_tid : t -> int -> unit
+(** Set the current track; cooperative simulated threads set this when
+    they are scheduled so events land on their track. *)
+
+(** {1 Guarded emitters}
+
+    Each is a no-op (one branch) when tracing is disabled. *)
+
+val instant : t -> Trace.kind -> arg:int -> unit
+(** Instant event stamped with the handle's clock. *)
+
+val instant_at : t -> Trace.kind -> ts:int -> arg:int -> unit
+val complete : t -> Trace.kind -> ts:int -> dur:int -> arg:int -> unit
+
+val span : t -> Trace.kind -> arg:int -> (unit -> 'a) -> 'a
+(** Run the thunk; when tracing, record one complete event covering
+    it (timestamps from the handle's clock). *)

@@ -1,0 +1,206 @@
+type kind =
+  | Txn_begin
+  | Txn_commit
+  | Txn_abort
+  | Txn_retry
+  | Fence
+  | Flush
+  | Wc_drain
+  | Cache_evict
+  | Log_append
+  | Log_truncate
+  | Log_stall
+  | Recovery_replay
+  | Heap_alloc
+  | Heap_free
+  | Swap_in
+  | Swap_out
+  | Phase of string
+
+let kind_name = function
+  | Txn_begin -> "Txn_begin"
+  | Txn_commit -> "Txn_commit"
+  | Txn_abort -> "Txn_abort"
+  | Txn_retry -> "Txn_retry"
+  | Fence -> "Fence"
+  | Flush -> "Flush"
+  | Wc_drain -> "Wc_drain"
+  | Cache_evict -> "Cache_evict"
+  | Log_append -> "Log_append"
+  | Log_truncate -> "Log_truncate"
+  | Log_stall -> "Log_stall"
+  | Recovery_replay -> "Recovery_replay"
+  | Heap_alloc -> "Heap_alloc"
+  | Heap_free -> "Heap_free"
+  | Swap_in -> "Swap_in"
+  | Swap_out -> "Swap_out"
+  | Phase s -> s
+
+let arg_label = function
+  | Fence | Heap_alloc -> "bytes"
+  | Flush | Heap_free -> "addr"
+  | Wc_drain -> "words"
+  | Cache_evict -> "line"
+  | Log_append | Log_truncate | Log_stall -> "words"
+  | Txn_begin | Txn_commit | Txn_abort | Txn_retry -> "writes"
+  | Recovery_replay -> "ts"
+  | Swap_in | Swap_out -> "frame"
+  | Phase _ -> "value"
+
+type event = { kind : kind; ts : int; dur : int; tid : int; arg : int }
+
+let dummy = { kind = Fence; ts = 0; dur = -1; tid = 0; arg = 0 }
+
+type t = {
+  cap : int;
+  ring : event array;
+  mutable len : int;
+  mutable next : int;
+  mutable n_dropped : int;
+  open_spans : (int, (kind * int * int) Stack.t) Hashtbl.t;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity";
+  {
+    cap = capacity;
+    ring = Array.make capacity dummy;
+    len = 0;
+    next = 0;
+    n_dropped = 0;
+    open_spans = Hashtbl.create 8;
+  }
+
+let capacity t = t.cap
+let length t = t.len
+let dropped t = t.n_dropped
+
+let clear t =
+  t.len <- 0;
+  t.next <- 0;
+  t.n_dropped <- 0;
+  Hashtbl.reset t.open_spans
+
+let push t ev =
+  t.ring.(t.next) <- ev;
+  t.next <- (t.next + 1) mod t.cap;
+  if t.len < t.cap then t.len <- t.len + 1 else t.n_dropped <- t.n_dropped + 1
+
+let instant t ~tid ~ts kind ~arg = push t { kind; ts; dur = -1; tid; arg }
+let complete t ~tid ~ts ~dur kind ~arg = push t { kind; ts; dur; tid; arg }
+
+let begin_span t ~tid ~ts kind ~arg =
+  let stack =
+    match Hashtbl.find_opt t.open_spans tid with
+    | Some s -> s
+    | None ->
+        let s = Stack.create () in
+        Hashtbl.replace t.open_spans tid s;
+        s
+  in
+  Stack.push (kind, ts, arg) stack
+
+let end_span t ~tid ~ts =
+  match Hashtbl.find_opt t.open_spans tid with
+  | None -> ()
+  | Some stack ->
+      if not (Stack.is_empty stack) then begin
+        let kind, ts0, arg = Stack.pop stack in
+        complete t ~tid ~ts:ts0 ~dur:(max 0 (ts - ts0)) kind ~arg
+      end
+
+let events t =
+  let start = (t.next - t.len + t.cap) mod t.cap in
+  List.init t.len (fun i -> t.ring.((start + i) mod t.cap))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+
+(* ts/dur are microseconds in the trace_event format; print the
+   simulated nanoseconds as fractional microseconds so nothing is
+   lost. *)
+let us ns = Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let event_json buf ev =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"mnemosyne\",\"ph\":\"%s\""
+       (escape (kind_name ev.kind))
+       (if ev.dur < 0 then "i" else "X"));
+  if ev.dur < 0 then Buffer.add_string buf ",\"s\":\"t\""
+  else Buffer.add_string buf (Printf.sprintf ",\"dur\":%s" (us ev.dur));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"ts\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"%s\":%d}}"
+       (us ev.ts) ev.tid
+       (escape (arg_label ev.kind))
+       ev.arg)
+
+let to_chrome_json t =
+  let buf = Buffer.create (256 * (t.len + 2)) in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  (* Events are recorded in completion order; emit them in start-time
+     order (longer spans first on ties, so nesting reads naturally). *)
+  let by_start =
+    List.stable_sort
+      (fun a b ->
+        match compare a.ts b.ts with 0 -> compare b.dur a.dur | c -> c)
+      (events t)
+  in
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n';
+      event_json buf ev)
+    by_start;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n],\"otherData\":{\"clock\":\"simulated\",\"dropped_events\":%d}}\n"
+       t.n_dropped);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Plain-text rollup                                                   *)
+
+let summary t =
+  let agg = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let name = kind_name ev.kind in
+      let count, total =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt agg name)
+      in
+      Hashtbl.replace agg name (count + 1, total + max 0 ev.dur))
+    (events t);
+  let rows = Hashtbl.fold (fun name ct acc -> (name, ct) :: acc) agg [] in
+  let rows =
+    List.sort
+      (fun (_, (_, ta)) (_, (_, tb)) -> compare (tb : int) ta)
+      rows
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-18s %10s %14s %12s\n" "event" "count" "total ns"
+       "mean ns");
+  List.iter
+    (fun (name, (count, total)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s %10d %14d %12.1f\n" name count total
+           (float_of_int total /. float_of_int count)))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "(%d events held, %d dropped oldest-first)\n" t.len
+       t.n_dropped);
+  Buffer.contents buf

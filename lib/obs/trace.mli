@@ -1,0 +1,83 @@
+(** A ring-buffered structured event recorder with a Chrome
+    [trace_event] exporter.
+
+    Events carry {e simulated} timestamps (nanoseconds) supplied by the
+    caller, one integer payload, and a track id (the simulated thread).
+    The ring has fixed capacity: when full, recording a new event
+    overwrites the oldest one and counts the drop, so a long run keeps
+    the most recent window.
+
+    The exporter emits Chrome [trace_event] JSON (open the file in
+    [chrome://tracing] or Perfetto); complete events become ["X"]
+    phases and instants become ["i"], with [ts]/[dur] in microseconds
+    carrying nanosecond precision in the fractional digits. *)
+
+type kind =
+  | Txn_begin
+  | Txn_commit
+  | Txn_abort
+  | Txn_retry
+  | Fence
+  | Flush
+  | Wc_drain
+  | Cache_evict
+  | Log_append
+  | Log_truncate
+  | Log_stall  (** Producer blocked on a full log, draining inline. *)
+  | Recovery_replay
+  | Heap_alloc
+  | Heap_free
+  | Swap_in
+  | Swap_out
+  | Phase of string  (** A named span, for ad-hoc instrumentation. *)
+
+val kind_name : kind -> string
+val arg_label : kind -> string
+(** The JSON key under which the event's payload argument appears. *)
+
+type event = {
+  kind : kind;
+  ts : int;  (** simulated ns *)
+  dur : int;  (** simulated ns; [-1] marks an instant event *)
+  tid : int;
+  arg : int;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 65536 events. *)
+
+val capacity : t -> int
+val length : t -> int
+(** Events currently held (at most [capacity]). *)
+
+val dropped : t -> int
+(** Events overwritten since creation (oldest-first). *)
+
+val clear : t -> unit
+(** Drop all events and reset the drop counter. *)
+
+val instant : t -> tid:int -> ts:int -> kind -> arg:int -> unit
+val complete : t -> tid:int -> ts:int -> dur:int -> kind -> arg:int -> unit
+
+(** {1 Nestable spans}
+
+    A per-track stack: [begin_span] remembers the opening timestamp,
+    [end_span] pops it and records one complete event covering the
+    interval.  Spans on the same track must nest properly. *)
+
+val begin_span : t -> tid:int -> ts:int -> kind -> arg:int -> unit
+
+val end_span : t -> tid:int -> ts:int -> unit
+(** No-op if no span is open on the track. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val to_chrome_json : t -> string
+(** The complete JSON document ([{"traceEvents": [...], ...}]). *)
+
+val summary : t -> string
+(** Flamegraph-style plain-text rollup: per event kind, the count,
+    total and mean duration, sorted by total time. *)

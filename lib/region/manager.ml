@@ -131,7 +131,12 @@ let detach t env frame ~write_back =
         Scm_device.read_into t.machine.dev (frame_addr t frame) buf 0 fs;
         Backing_store.write_page t.backing inode page_off buf;
         env.Scm.Env.delay (Backing_store.page_io_ns t.backing);
-        t.swaps_out <- t.swaps_out + 1
+        t.swaps_out <- t.swaps_out + 1;
+        let obs = t.machine.Scm.Env.obs in
+        Obs.Metrics.incr
+          (Obs.Metrics.counter obs.Obs.metrics "region.swaps_out");
+        Obs.instant_at obs Obs.Trace.Swap_out ~ts:(env.Scm.Env.now ())
+          ~arg:frame
       end
       else purge_frame_lines ~writeback:false t frame;
       Mapping_table.set_free t.table env ~frame;
@@ -193,6 +198,9 @@ let fault_in t env ~inode ~page_off =
       Scm_device.write_from t.machine.dev (frame_addr t frame) buf 0 fs;
       env.Scm.Env.delay (Backing_store.page_io_ns t.backing);
       t.swaps_in <- t.swaps_in + 1;
+      let obs = t.machine.Scm.Env.obs in
+      Obs.Metrics.incr (Obs.Metrics.counter obs.Obs.metrics "region.swaps_in");
+      Obs.instant_at obs Obs.Trace.Swap_in ~ts:(env.Scm.Env.now ()) ~arg:frame;
       install t env frame ~inode ~page_off;
       frame
 
@@ -299,6 +307,9 @@ let wear_level t ?(max_moves = 64) env ~threshold =
              Hashtbl.replace t.rev target (inode, page_off);
              Queue.push frame t.free;
              List.iter (fun hook -> hook ~inode ~page_off) t.hooks;
+             Obs.Metrics.incr
+               (Obs.Metrics.counter t.machine.Scm.Env.obs.Obs.metrics
+                  "region.wear_moves");
              incr moves
          | _ -> ())
        hot

@@ -6,6 +6,8 @@ type t = {
   capacity : int;
   lines : (int, line) Hashtbl.t;
   rng : Random.State.t;
+  obs : Obs.t;
+  evict_ctr : Obs.Metrics.counter;
   mutable evictions : int;
   (* Dense array of resident line addresses for O(1) random victim
      selection; [index] maps line address to its slot in [members]. *)
@@ -14,15 +16,19 @@ type t = {
   index : (int, int) Hashtbl.t;
 }
 
-let create ?(line_size = 64) ?(capacity_lines = 8192) ?(seed = 0xcafe) dev =
+let create ?(line_size = 64) ?(capacity_lines = 8192) ?(seed = 0xcafe) ?obs dev
+    =
   if line_size <= 0 || line_size land 7 <> 0 then
     invalid_arg "Cache.create: line_size";
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   {
     dev;
     line_size;
     capacity = capacity_lines;
     lines = Hashtbl.create (2 * capacity_lines);
     rng = Random.State.make [| seed |];
+    obs;
+    evict_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.cache.evictions";
     evictions = 0;
     members = Array.make (max 16 capacity_lines) (-1);
     nmembers = 0;
@@ -68,7 +74,9 @@ let evict_one t =
     | Some line when line.dirty -> write_back t victim line
     | Some _ | None -> ());
     remove_line t victim;
-    t.evictions <- t.evictions + 1
+    t.evictions <- t.evictions + 1;
+    Obs.Metrics.incr t.evict_ctr;
+    Obs.instant t.obs Obs.Trace.Cache_evict ~arg:victim
   end
 
 let get_line t addr =

@@ -13,10 +13,17 @@
 type t
 
 val create :
-  ?line_size:int -> ?capacity_lines:int -> ?seed:int -> Scm_device.t -> t
+  ?line_size:int ->
+  ?capacity_lines:int ->
+  ?seed:int ->
+  ?obs:Obs.t ->
+  Scm_device.t ->
+  t
 (** [create dev] makes a cache over [dev].  [capacity_lines] bounds the
     number of resident lines (default 8192 = 512 KiB); exceeding it
-    evicts a pseudo-random victim, writing it back if dirty. *)
+    evicts a pseudo-random victim, writing it back if dirty.  Evictions
+    feed [obs] (counter [scm.cache.evictions] plus a [Cache_evict]
+    trace event when tracing). *)
 
 val line_size : t -> int
 val line_base : t -> int -> int

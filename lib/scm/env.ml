@@ -3,6 +3,7 @@ type machine = {
   cache : Cache.t;
   latency : Latency_model.t;
   crash_rng : Random.State.t;
+  obs : Obs.t;
   mutable wc_buffers : Wc_buffer.t list;
   mutable media_busy_until : int;
 }
@@ -15,44 +16,60 @@ type t = {
 }
 
 let make_machine ?(latency = Latency_model.default) ?cache_capacity_lines
-    ?(seed = 42) ~nframes () =
+    ?(seed = 42) ?obs ~nframes () =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   let dev = Scm_device.create ~nframes () in
-  let cache = Cache.create ?capacity_lines:cache_capacity_lines ~seed dev in
+  let cache =
+    Cache.create ?capacity_lines:cache_capacity_lines ~seed ~obs dev
+  in
   {
     dev;
     cache;
     latency;
     crash_rng = Random.State.make [| seed; 0x5eed |];
+    obs;
     wc_buffers = [];
     media_busy_until = 0;
   }
 
 let machine_of_device ?(latency = Latency_model.default) ?cache_capacity_lines
-    ?(seed = 42) dev =
-  let cache = Cache.create ?capacity_lines:cache_capacity_lines ~seed dev in
+    ?(seed = 42) ?obs dev =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let cache =
+    Cache.create ?capacity_lines:cache_capacity_lines ~seed ~obs dev
+  in
   {
     dev;
     cache;
     latency;
     crash_rng = Random.State.make [| seed; 0x5eed |];
+    obs;
     wc_buffers = [];
     media_busy_until = 0;
   }
 
 let attach_wc machine =
-  let wc = Wc_buffer.create machine.dev in
+  let wc = Wc_buffer.create ~obs:machine.obs machine.dev in
   machine.wc_buffers <- wc :: machine.wc_buffers;
   wc
 
+(* Creating an environment points the machine's observability clock at
+   this environment's clock.  Every view of one simulation shares one
+   clock, so last-wins is correct there; mixing standalone clocks only
+   matters when tracing, and traced runs use a single time source. *)
 let standalone machine =
   let clock = ref 0 in
+  let now () = !clock in
+  Obs.set_clock machine.obs now;
   {
     machine;
     wc = attach_wc machine;
     delay = (fun ns -> clock := !clock + ns);
-    now = (fun () -> !clock);
+    now;
   }
 
-let view machine ~delay ~now = { machine; wc = attach_wc machine; delay; now }
+let view machine ~delay ~now =
+  Obs.set_clock machine.obs now;
+  { machine; wc = attach_wc machine; delay; now }
 
 let elapsed_ns t = t.now ()

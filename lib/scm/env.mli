@@ -15,6 +15,11 @@ type machine = {
   crash_rng : Random.State.t;
       (** Randomness for crash injection and cache eviction decisions,
           seeded for reproducibility. *)
+  obs : Obs.t;
+      (** This machine's observability handle: a metrics registry plus
+          an optional event trace.  Instrumentation throughout the
+          stack reaches it through the environment, so a disabled
+          trace costs one branch per hook. *)
   mutable wc_buffers : Wc_buffer.t list;
       (** Every live write-combining buffer; crash injection must see
           them all. *)
@@ -36,15 +41,18 @@ val make_machine :
   ?latency:Latency_model.t ->
   ?cache_capacity_lines:int ->
   ?seed:int ->
+  ?obs:Obs.t ->
   nframes:int ->
   unit ->
   machine
-(** Build a machine: device of [nframes] 4-KiB frames plus cache. *)
+(** Build a machine: device of [nframes] 4-KiB frames plus cache.
+    [obs] defaults to a fresh handle with tracing disabled. *)
 
 val machine_of_device :
   ?latency:Latency_model.t ->
   ?cache_capacity_lines:int ->
   ?seed:int ->
+  ?obs:Obs.t ->
   Scm_device.t ->
   machine
 (** Wrap an existing device (e.g. one reloaded from a crash image) in

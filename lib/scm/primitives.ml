@@ -42,17 +42,38 @@ let media_write (env : Env.t) cost_ns =
   m.media_busy_until <- finish;
   env.delay (finish - now + (cost_ns - occupancy))
 
-let flush (env : Env.t) addr =
+let flush_impl (env : Env.t) addr =
   let wrote = Cache.flush_line env.machine.cache addr in
   if wrote then media_write env env.machine.latency.pcm_write_ns
   else env.delay env.machine.latency.cache_hit_ns
 
-let fence (env : Env.t) =
+let flush (env : Env.t) addr =
+  let obs = env.machine.obs in
+  Obs.Metrics.incr (Obs.Metrics.counter obs.Obs.metrics "scm.flushes");
+  if not (Obs.tracing obs) then flush_impl env addr
+  else begin
+    let t0 = env.now () in
+    flush_impl env addr;
+    Obs.complete obs Obs.Trace.Flush ~ts:t0 ~dur:(env.now () - t0) ~arg:addr
+  end
+
+let fence_impl (env : Env.t) =
   let lat = env.machine.latency in
   let bytes = Wc_buffer.pending_bytes env.wc in
   Wc_buffer.drain env.wc;
   env.delay lat.fence_base_ns;
   if bytes > 0 then media_write env (Latency_model.streaming_write_ns lat bytes)
+
+let fence (env : Env.t) =
+  let obs = env.machine.obs in
+  Obs.Metrics.incr (Obs.Metrics.counter obs.Obs.metrics "scm.fences");
+  if not (Obs.tracing obs) then fence_impl env
+  else begin
+    let t0 = env.now () in
+    let bytes = Wc_buffer.pending_bytes env.wc in
+    fence_impl env;
+    Obs.complete obs Obs.Trace.Fence ~ts:t0 ~dur:(env.now () - t0) ~arg:bytes
+  end
 
 let load_bytes (env : Env.t) addr buf off len =
   (* Go word by word so pending streaming stores are forwarded. *)

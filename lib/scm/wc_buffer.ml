@@ -3,16 +3,21 @@ type t = {
   order : (int * int64) Queue.t;
   latest : (int, int64) Hashtbl.t;
   lines : (int, int) Hashtbl.t;  (* 64-byte line -> pending word count *)
+  obs : Obs.t;
+  drain_ctr : Obs.Metrics.counter;
 }
 
 let line_shift = 6
 
-let create dev =
+let create ?obs dev =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   {
     dev;
     order = Queue.create ();
     latest = Hashtbl.create 64;
     lines = Hashtbl.create 64;
+    obs;
+    drain_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.wc.drains";
   }
 
 let post t addr v =
@@ -37,6 +42,11 @@ let clear t =
   Hashtbl.reset t.lines
 
 let drain t =
+  let words = Queue.length t.order in
+  if words > 0 then begin
+    Obs.Metrics.incr t.drain_ctr;
+    Obs.instant t.obs Obs.Trace.Wc_drain ~arg:words
+  end;
   Queue.iter (fun (addr, v) -> Scm_device.store64 t.dev addr v) t.order;
   clear t
 

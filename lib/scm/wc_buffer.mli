@@ -14,7 +14,9 @@
 
 type t
 
-val create : Scm_device.t -> t
+val create : ?obs:Obs.t -> Scm_device.t -> t
+(** Non-empty drains feed [obs] (counter [scm.wc.drains] plus a
+    [Wc_drain] trace event carrying the pending word count). *)
 
 val post : t -> int -> int64 -> unit
 (** Queue a 64-bit streaming store to an aligned address. *)

@@ -1,30 +1,18 @@
-type t = { mutable samples : int list; mutable n : int; mutable sum : int }
+(* Backed by an Obs histogram: O(1) add instead of consing every
+   sample, O(buckets) percentile instead of re-sorting the whole list
+   on every query. *)
+type t = Obs.Metrics.histogram
 
-let create () = { samples = []; n = 0; sum = 0 }
+let create () = Obs.Metrics.make_histogram "workload.latency_ns"
 
-let add t ns =
-  t.samples <- ns :: t.samples;
-  t.n <- t.n + 1;
-  t.sum <- t.sum + ns
+let add t ns = Obs.Metrics.record t ns
 
-let count t = t.n
-let mean_ns t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+let count t = Obs.Metrics.hcount t
+let mean_ns t = Obs.Metrics.hmean t
 let mean_us t = mean_ns t /. 1000.0
-
-let sorted t = List.sort compare t.samples
-
-let min_ns t = match sorted t with [] -> 0 | x :: _ -> x
-let max_ns t = List.fold_left max 0 t.samples
-
-let percentile_ns t p =
-  match sorted t with
-  | [] -> 0
-  | l ->
-      let arr = Array.of_list l in
-      let idx =
-        int_of_float (Float.round (p /. 100.0 *. float_of_int (t.n - 1)))
-      in
-      arr.(max 0 (min (t.n - 1) idx))
+let min_ns t = Obs.Metrics.hmin t
+let max_ns t = Obs.Metrics.hmax t
+let percentile_ns t p = Obs.Metrics.percentile t p
 
 let throughput_per_s ~ops ~elapsed_ns =
   if elapsed_ns = 0 then 0.0

@@ -1,4 +1,8 @@
-(** Latency/throughput bookkeeping for the benchmark harness. *)
+(** Latency/throughput bookkeeping for the benchmark harness.
+
+    Since the observability PR this is a thin facade over
+    {!Obs.Metrics} histograms: adding a sample is O(1) and percentile
+    queries are O(buckets) rather than a fresh sort of every sample. *)
 
 type t
 
@@ -11,7 +15,8 @@ val mean_ns : t -> float
 val min_ns : t -> int
 val max_ns : t -> int
 val percentile_ns : t -> float -> int
-(** e.g. [percentile_ns t 99.0]. *)
+(** e.g. [percentile_ns t 99.0].  Exact below 512 ns; above that,
+    quantized with relative error at most 1/512. *)
 
 val mean_us : t -> float
 

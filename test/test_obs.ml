@@ -1,0 +1,309 @@
+(* Tests for the observability layer: histogram accuracy against a
+   brute-force oracle, counter registry, trace-ring overflow semantics,
+   Chrome JSON export round-trip, and the one-fence-per-commit
+   durability guarantee of redo logging. *)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let oracle_percentile sorted p =
+  let n = Array.length sorted in
+  let idx = int_of_float (Float.round (p /. 100.0 *. float_of_int (n - 1))) in
+  sorted.(max 0 (min (n - 1) idx))
+
+let test_histogram_oracle () =
+  let rng = Random.State.make [| 0xbeef |] in
+  let h = Obs.Metrics.make_histogram "test" in
+  let samples =
+    Array.init 5000 (fun i ->
+        (* mix of exact small values and log-spread large ones *)
+        if i land 1 = 0 then Random.State.int rng 512
+        else 1 lsl (9 + Random.State.int rng 20) lor Random.State.int rng 4096)
+  in
+  Array.iter (fun s -> Obs.Metrics.record h s) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let n = Array.length samples in
+  Alcotest.(check int) "count" n (Obs.Metrics.hcount h);
+  Alcotest.(check int) "sum" (Array.fold_left ( + ) 0 samples)
+    (Obs.Metrics.hsum h);
+  Alcotest.(check int) "min exact" sorted.(0) (Obs.Metrics.hmin h);
+  Alcotest.(check int) "max exact" sorted.(n - 1) (Obs.Metrics.hmax h);
+  List.iter
+    (fun p ->
+      let want = oracle_percentile sorted p in
+      let got = Obs.Metrics.percentile h p in
+      if want < 512 then
+        Alcotest.(check int) (Printf.sprintf "p%.0f exact" p) want got
+      else begin
+        (* log-linear quantization: the bucket's lower bound, within
+           1/512 relative error *)
+        if got > want || want - got > (want / 512) + 1 then
+          Alcotest.failf "p%.0f: got %d for oracle %d (error > 1/512)" p got
+            want
+      end)
+    [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 99.9; 100.0 ]
+
+let test_histogram_small_exact () =
+  (* every value below 2^sub_bits has its own bucket: percentiles are
+     the exact order statistics *)
+  let h = Obs.Metrics.make_histogram "exact" in
+  for v = 100 downto 1 do
+    Obs.Metrics.record h v
+  done;
+  (* rank round(0.5 * 99) = 50, so the 51st smallest — the same
+     convention the list-backed Workload.Stats used *)
+  Alcotest.(check int) "p50" 51 (Obs.Metrics.percentile h 50.0);
+  Alcotest.(check int) "p0" 1 (Obs.Metrics.percentile h 0.0);
+  Alcotest.(check int) "p100" 100 (Obs.Metrics.percentile h 100.0);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Obs.Metrics.hmean h)
+
+let test_counters () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "a.b" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:41 c;
+  Alcotest.(check int) "value" 42 (Obs.Metrics.counter_value c);
+  (* get-or-create returns the same counter *)
+  let c' = Obs.Metrics.counter m "a.b" in
+  Obs.Metrics.incr c';
+  Alcotest.(check int) "shared" 43 (Obs.Metrics.counter_value c);
+  let names = ref [] in
+  Obs.Metrics.iter_counters m (fun c ->
+      names := Obs.Metrics.counter_name c :: !names);
+  Alcotest.(check (list string)) "registry" [ "a.b" ] !names
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring *)
+
+let test_ring_overflow () =
+  let tr = Obs.Trace.create ~capacity:8 () in
+  for i = 0 to 11 do
+    Obs.Trace.instant tr ~tid:0 ~ts:i Obs.Trace.Fence ~arg:i
+  done;
+  Alcotest.(check int) "held" 8 (Obs.Trace.length tr);
+  Alcotest.(check int) "dropped" 4 (Obs.Trace.dropped tr);
+  let ts = List.map (fun e -> e.Obs.Trace.ts) (Obs.Trace.events tr) in
+  Alcotest.(check (list int)) "oldest dropped first" [ 4; 5; 6; 7; 8; 9; 10; 11 ]
+    ts
+
+(* ------------------------------------------------------------------ *)
+(* Chrome JSON round-trip, via a minimal JSON parser *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let parse_json s =
+  let pos = ref 0 in
+  let peek () = s.[!pos] in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < String.length s then
+      match peek () with ' ' | '\n' | '\t' | '\r' -> advance (); skip_ws ()
+      | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then failwith (Printf.sprintf "expected %c at %d" c !pos);
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'u' ->
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              pos := !pos + 4;
+              Buffer.add_char buf (Char.chr (code land 0xff))
+          | c -> Buffer.add_char buf c);
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            if peek () = ',' then begin advance (); members ((key, v) :: acc) end
+            else begin expect '}'; List.rev ((key, v) :: acc) end
+          in
+          Obj (members [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Arr [] end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            if peek () = ',' then begin advance (); elems (v :: acc) end
+            else begin expect ']'; List.rev (v :: acc) end
+          in
+          Arr (elems [])
+        end
+    | '"' -> Str (parse_string ())
+    | 't' -> pos := !pos + 4; Bool true
+    | 'f' -> pos := !pos + 5; Bool false
+    | 'n' -> pos := !pos + 4; Null
+    | _ ->
+        let start = !pos in
+        while !pos < String.length s
+              && (match peek () with
+                  | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+                  | _ -> false)
+        do advance () done;
+        Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  v
+
+let field name = function
+  | Obj kvs -> List.assoc name kvs
+  | _ -> failwith "not an object"
+
+let ns_of_us = function
+  | Num us -> int_of_float (Float.round (us *. 1000.0))
+  | _ -> failwith "not a number"
+
+let test_chrome_roundtrip () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.complete tr ~tid:3 ~ts:1_234_567 ~dur:89 Obs.Trace.Txn_commit
+    ~arg:7;
+  Obs.Trace.instant tr ~tid:1 ~ts:2_000_001 Obs.Trace.Log_truncate ~arg:64;
+  let doc = parse_json (Obs.Trace.to_chrome_json tr) in
+  (match field "displayTimeUnit" doc with
+  | Str "ns" -> ()
+  | _ -> Alcotest.fail "displayTimeUnit");
+  let evs = match field "traceEvents" doc with Arr l -> l | _ -> [] in
+  Alcotest.(check int) "event count" 2 (List.length evs);
+  let commit = List.nth evs 0 and trunc = List.nth evs 1 in
+  (match field "name" commit with
+  | Str "Txn_commit" -> ()
+  | _ -> Alcotest.fail "name");
+  (match field "ph" commit with Str "X" -> () | _ -> Alcotest.fail "ph X");
+  Alcotest.(check int) "ts ns preserved" 1_234_567 (ns_of_us (field "ts" commit));
+  Alcotest.(check int) "dur ns preserved" 89 (ns_of_us (field "dur" commit));
+  (match field "args" commit with
+  | Obj [ ("writes", Num 7.0) ] -> ()
+  | _ -> Alcotest.fail "args");
+  (match field "ph" trunc with Str "i" -> () | _ -> Alcotest.fail "ph i");
+  Alcotest.(check int) "instant ts" 2_000_001 (ns_of_us (field "ts" trunc))
+
+(* ------------------------------------------------------------------ *)
+(* Integration: redo logging commits with exactly one fence *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "mnemobs" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_one_fence_per_commit () =
+  with_tmpdir (fun dir ->
+      let m = Scm.Env.make_machine ~seed:3 ~nframes:4096 () in
+      let backing = Region.Backing_store.open_dir dir in
+      let pmem = Region.Pmem.open_instance m backing in
+      let config =
+        {
+          Mtm.Txn.default_config with
+          nthreads = 1;
+          log_cap_words = 4096;
+          truncation = Mtm.Txn.Async;
+        }
+      in
+      let pool = Mtm.Txn.create_pool ~config pmem None in
+      let v = Region.Pmem.default_view pmem in
+      let slot = Region.Pstatic.get v "test.data" 8 in
+      let base = Region.Pmem.pmap v 4096 in
+      Region.Pmem.wtstore v slot (Int64.of_int base);
+      Region.Pmem.fence v;
+      (* fault the data page in now, or commit write-back would take a
+         demand fault whose durable mapping-table update also fences *)
+      ignore (Region.Pmem.load v base);
+      let th = Mtm.Txn.thread pool 0 v.env in
+      (* all the setup fences and faults are behind us: watch one commit *)
+      let obs = Mtm.Txn.obs pool in
+      Obs.enable_trace obs;
+      Mtm.Txn.run th (fun tx ->
+          Mtm.Txn.store tx base 1L;
+          Mtm.Txn.store tx (base + 8) 2L;
+          Mtm.Txn.store tx (base + 16) 3L);
+      let events =
+        match obs.Obs.trace with
+        | Some tr -> Obs.Trace.events tr
+        | None -> []
+      in
+      let count k =
+        List.length (List.filter (fun e -> e.Obs.Trace.kind = k) events)
+      in
+      (* the durability point of lazy redo logging is the single tornbit
+         flush+fence after the log append (paper section 5); with async
+         truncation nothing else orders *)
+      Alcotest.(check int) "exactly one fence" 1 (count Obs.Trace.Fence);
+      Alcotest.(check int) "one commit" 1 (count Obs.Trace.Txn_commit);
+      Alcotest.(check int) "one log append" 1 (count Obs.Trace.Log_append);
+      let s = Mtm.Txn.stats pool in
+      Alcotest.(check int) "committed" 1 s.Mtm.Txn.commits)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram vs oracle" `Quick
+            test_histogram_oracle;
+          Alcotest.test_case "small values exact" `Quick
+            test_histogram_small_exact;
+          Alcotest.test_case "counters" `Quick test_counters;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+          Alcotest.test_case "chrome json round-trip" `Quick
+            test_chrome_roundtrip;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "one fence per redo commit" `Quick
+            test_one_fence_per_commit;
+        ] );
+    ]
