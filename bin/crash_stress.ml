@@ -22,36 +22,22 @@
 
 open Cmdliner
 
-let nslots = 512
+let nslots = Workload.Stress_model.default_nslots
 
-(* Deterministic PRNG sequence for transaction [t]: which slots it
-   writes and the values - both derived from (seed, t). *)
-let txn_updates ~seed ~t =
-  let rng = Random.State.make [| seed; t |] in
-  let n = 1 + Random.State.int rng 8 in
-  List.init n (fun _ ->
-      let slot = Random.State.int rng nslots in
-      let value = Int64.of_int (1 + Random.State.int rng 0x3fffffff) in
-      (slot, value))
-
-(* Replay the model: slot contents after [count] transactions. *)
-let model_after ~seed count =
-  let m = Array.make nslots 0L in
-  for t = 0 to count - 1 do
-    List.iter (fun (slot, v) -> m.(slot) <- v) (txn_updates ~seed ~t)
-  done;
-  m
+(* Deterministic (slot, value) writes of transaction [t] and their
+   replay live in {!Workload.Stress_model}, shared with crash_explore
+   so both drivers verify against the same ground truth. *)
+let txn_updates ~seed ~t = Workload.Stress_model.txn_updates ~seed ~t ()
+let model_after ~seed count = Workload.Stress_model.model_after ~seed count
 
 let run rounds seed txns_max dir =
-  let rec rm_rf p =
-    if Sys.file_exists p then
-      if Sys.is_directory p then begin
-        Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
-        Sys.rmdir p
-      end
-      else Sys.remove p
-  in
-  rm_rf dir;
+  (* refuses to delete anything that is not an instance layout — a
+     mistyped --dir must not become rm -rf on user data *)
+  (match Mnemosyne.reset_dir dir with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "crash_stress: %s\n" msg;
+      exit 2);
   let mtm = { Mtm.Txn.default_config with truncation = Mtm.Txn.Async } in
   let rng = Random.State.make [| seed; 0xc0de |] in
   let total_txns = ref 0 in

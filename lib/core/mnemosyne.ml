@@ -45,16 +45,49 @@ let reincarnation_stats t = t.stats
 let image_path dir = Filename.concat dir "scm.img"
 let backing_path dir = Filename.concat dir "backing"
 
+let is_instance_dir dir =
+  Sys.file_exists dir
+  && Sys.is_directory dir
+  && (Sys.file_exists (image_path dir) || Sys.file_exists (backing_path dir))
+
+let reset_dir dir =
+  let rec rm_rf p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  if not (Sys.file_exists dir) then Ok ()
+  else if not (Sys.is_directory dir) then
+    Error (Printf.sprintf "%s exists and is not a directory" dir)
+  else if Array.length (Sys.readdir dir) = 0 then Ok ()
+  else if is_instance_dir dir then Ok (rm_rf dir)
+  else
+    Error
+      (Printf.sprintf
+         "%s is non-empty and does not look like a Mnemosyne instance \
+          directory (no scm.img or backing/); refusing to delete it"
+         dir)
+
+let prepare_machine ?(geometry = default_geometry)
+    ?(latency = Scm.Latency_model.default) ?(seed = 42) ?obs ?crash_point
+    ~dir () =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  if Sys.file_exists (image_path dir) then
+    let dev = Scm.Scm_device.load_image (image_path dir) in
+    Scm.Env.machine_of_device ~latency ~seed ?obs ?crash_point dev
+  else
+    Scm.Env.make_machine ~latency ~seed ?obs ?crash_point
+      ~nframes:geometry.scm_frames ()
+
 let open_instance ?(geometry = default_geometry)
     ?(latency = Scm.Latency_model.default)
-    ?(mtm = Mtm.Txn.default_config) ?(seed = 42) ?obs ~dir () =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    ?(mtm = Mtm.Txn.default_config) ?(seed = 42) ?obs ?machine ~dir () =
   let machine =
-    if Sys.file_exists (image_path dir) then
-      let dev = Scm.Scm_device.load_image (image_path dir) in
-      Scm.Env.machine_of_device ~latency ~seed ?obs dev
-    else
-      Scm.Env.make_machine ~latency ~seed ?obs ~nframes:geometry.scm_frames ()
+    match machine with
+    | Some m -> m
+    | None -> prepare_machine ~geometry ~latency ~seed ?obs ~dir ()
   in
   let backing = Region.Backing_store.open_dir (backing_path dir) in
   let pmem = Region.Pmem.open_instance machine backing in
@@ -104,9 +137,12 @@ let close t =
   Pmem.close t.main_view;
   Scm.Scm_device.save_image t.machine.dev (image_path t.dir)
 
+let crash_to_disk ?policy machine ~dir =
+  Scm.Crash.inject ?policy machine;
+  Scm.Scm_device.save_image machine.Scm.Env.dev (image_path dir)
+
 let reincarnate t =
-  Scm.Crash.inject t.machine;
-  Scm.Scm_device.save_image t.machine.dev (image_path t.dir);
+  crash_to_disk t.machine ~dir:t.dir;
   (* keep the same observability handle so metrics and the trace span
      the crash *)
   open_instance ~geometry:t.geometry ~latency:t.latency ~mtm:t.mtm_cfg

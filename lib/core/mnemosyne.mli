@@ -40,13 +40,49 @@ val open_instance :
   ?mtm:Mtm.Txn.config ->
   ?seed:int ->
   ?obs:Obs.t ->
+  ?machine:Scm.Env.machine ->
   dir:string ->
   unit ->
   t
 (** Open (creating or recovering) the instance whose state lives in
     [dir]: the SCM device image [dir/scm.img] (absent = first boot or
     device replacement — regions reload from their backing files) and
-    the region backing files. *)
+    the region backing files.
+
+    [machine] supplies a pre-built machine (from {!prepare_machine})
+    instead of loading one from [dir].  The crash-schedule explorer
+    needs this split: it arms the machine's crash point before recovery
+    runs, and still holds the machine when a {!Scm.Crashpoint}
+    [Simulated_crash] unwinds out of [open_instance] mid-recovery. *)
+
+val prepare_machine :
+  ?geometry:geometry ->
+  ?latency:Scm.Latency_model.t ->
+  ?seed:int ->
+  ?obs:Obs.t ->
+  ?crash_point:Scm.Crashpoint.t ->
+  dir:string ->
+  unit ->
+  Scm.Env.machine
+(** The machine-construction half of {!open_instance}: load [dir]'s
+    device image (or build a fresh zeroed device), wrapped in fresh
+    volatile state.  No recovery is run. *)
+
+val crash_to_disk :
+  ?policy:Scm.Crash.policy -> Scm.Env.machine -> dir:string -> unit
+(** Apply a crash policy to the machine's volatile state
+    ({!Scm.Crash.inject}) and save the surviving device image to [dir],
+    ready to be reopened.  The machine is dead afterwards. *)
+
+val is_instance_dir : string -> bool
+(** Whether [dir] holds an instance layout (a [scm.img] image or a
+    [backing/] directory created by {!open_instance}/{!close}). *)
+
+val reset_dir : string -> (unit, string) result
+(** Make [dir] safe to (re)create an instance in: a missing or empty
+    directory is left as is; an instance directory is deleted
+    recursively; anything else is refused with an explanatory error —
+    stress drivers must not [rm -rf] arbitrary user paths. *)
 
 val reincarnate : t -> t
 (** Crash the machine (adversarial policy) and go through the full

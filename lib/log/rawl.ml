@@ -18,7 +18,18 @@ let header_bytes = 64
 
 let region_bytes_for ~cap_words = header_bytes + (8 * cap_words)
 
-let max_record_words t = ((t.cap - 1) * 63 / 64) - 1
+(* Single source of truth for the largest admissible payload.  A record
+   of n payload words stores [Bitstream.stored_words_for (n + 1)] words
+   (payload plus the length word); the buffer keeps one word free, so
+   admission requires stored <= cap - 1, i.e.
+   ceil (64 * (n + 1) / 63) <= cap - 1, i.e.
+   n <= 63 * (cap - 1) / 64 - 1 (integer division).  [append]'s
+   admission check and recovery's length-plausibility bound must both
+   agree with this, or recovery could accept a length no append could
+   have produced (or reject one it could). *)
+let max_record_words_for ~cap_words = (63 * (cap_words - 1) / 64) - 1
+
+let max_record_words t = max_record_words_for ~cap_words:t.cap
 
 let capacity t = t.cap
 let used_words t = (t.tail_off - t.head_off + t.cap) mod t.cap
@@ -245,7 +256,8 @@ let attach v ~base =
             go ()
           in
           let n = Int64.to_int (next_word ()) in
-          if n < 1 || n > (cap - 1) * 63 / 64 then raise Scan_end;
+          if n < 1 || n > max_record_words_for ~cap_words:cap then
+            raise Scan_end;
           let payload = Array.make n 0L in
           for i = 0 to n - 1 do
             payload.(i) <- next_word ()
@@ -267,15 +279,29 @@ let attach v ~base =
   (* Erase the stale suffix: words of a discarded partial append ahead
      of the recovered tail still carry the current pass parity, and a
      later crash could mis-parse them as a record continuation.  Rewrite
-     them as previous-pass filler so the torn-bit scan stays sound. *)
+     them as previous-pass filler so the torn-bit scan stays sound.
+
+     The sweep must cover the ENTIRE free region, not just the
+     contiguous current-parity run at the tail: streaming stores land
+     as an arbitrary subset on a crash, so a stale word can sit beyond
+     a gap of never-written (previous-parity) words — and a crash
+     during a previous recovery's erase leaves landed filler words in
+     front of not-yet-erased stale ones.  Stopping at the first
+     mismatch would leave such words behind; once later appends fill
+     the gap with current-parity data, a subsequent recovery scan would
+     run straight into the stale word and mis-parse it as a record.
+     Sweeping every free word (rewriting only those that need it) is
+     idempotent and converges even if this erase itself crashes partway
+     through: whatever subset of the filler writes lands, the next
+     recovery sweeps the same region again. *)
   let erase_pos = ref t.tail_off
   and erase_parity = ref t.tail_parity
   and erase_tpos = ref t.tail_tpos
-  and erase_budget = ref (cap - 1)
   and erased = ref false in
-  let continue_erase = ref true in
-  while !continue_erase && !erase_budget > 0 do
-    let w = Pmem.load v (slot_addr t !erase_pos) in
+  for _ = 1 to free_words t do
+    (* non-temporal: sweeping the whole free region must not evict the
+       working set or perturb the eviction rng *)
+    let w = Pmem.load_nt v (slot_addr t !erase_pos) in
     let _, torn = extract_torn w !erase_tpos in
     if torn = (!erase_parity = 1) then begin
       let filler =
@@ -283,19 +309,17 @@ let attach v ~base =
         if !erase_parity = 1 then 0L else Int64.shift_left 1L !erase_tpos
       in
       Pmem.wtstore v (slot_addr t !erase_pos) filler;
-      erased := true;
-      decr erase_budget;
-      incr erase_pos;
-      if !erase_pos = cap then begin
-        erase_pos := 0;
-        let parity', tpos' =
-          next_pass t ~parity:!erase_parity ~tpos:!erase_tpos
-        in
-        erase_parity := parity';
-        erase_tpos := tpos'
-      end
+      erased := true
+    end;
+    incr erase_pos;
+    if !erase_pos = cap then begin
+      erase_pos := 0;
+      let parity', tpos' =
+        next_pass t ~parity:!erase_parity ~tpos:!erase_tpos
+      in
+      erase_parity := parity';
+      erase_tpos := tpos'
     end
-    else continue_erase := false
   done;
   if !erased then Pmem.fence v;
   (t, List.rev !records)

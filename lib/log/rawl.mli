@@ -29,7 +29,13 @@ val region_bytes_for : cap_words:int -> int
     capacity (header + buffer). *)
 
 val max_record_words : t -> int
-(** Largest payload (in 64-bit words) a single append can hold. *)
+(** Largest payload (in 64-bit words) a single append can hold.
+    Derived from the same bound {!append} admits by and recovery's
+    length-plausibility check rejects by: a record of exactly this many
+    words appends successfully and recovers; one word more is [Full]. *)
+
+val max_record_words_for : cap_words:int -> int
+(** {!max_record_words} as a function of the buffer capacity. *)
 
 val create :
   ?rotate_torn_bit:bool -> Region.Pmem.view -> base:int -> cap_words:int -> t

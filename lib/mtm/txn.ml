@@ -662,12 +662,26 @@ let run th f =
         in
         match f tx with
         | result ->
-            if try commit tx with Abort_internal -> false then begin
+            let committed =
+              try commit tx with
+              | Abort_internal -> false
+              | Scm.Crashpoint.Simulated_crash _ as e ->
+                  th.current <- None;
+                  raise e
+            in
+            if committed then begin
               th.current <- None;
               result
             end
             else finish_abort ()
         | exception Abort_internal -> finish_abort ()
+        | exception (Scm.Crashpoint.Simulated_crash _ as e) ->
+            (* The machine is dead mid-transaction: do NOT roll back —
+               rollback touches persistent state through the crashed
+               machine and must not run.  Recovery after reopen is what
+               undoes (or completes) this transaction. *)
+            th.current <- None;
+            raise e
         | exception e ->
             th.current <- None;
             rollback tx;

@@ -10,6 +10,10 @@ type t = {
   mutable regions : region list;  (* sorted by base, ascending *)
   by_inode : (int, region) Hashtbl.t;
   vpage_cache : (int, int) Hashtbl.t;  (* vpage -> frame *)
+  mutable peek_page : (int * int * Bytes.t) option;
+      (* (inode, page_off, contents): one-page memo for {!load_nt} reads
+         of non-resident pages.  Stale the moment the page regains and
+         then loses a frame, so the eviction hook drops it. *)
   mutable next_dyn : int;
   default_env : Scm.Env.t;
   mutable remap_ns : int;
@@ -84,6 +88,36 @@ let translate v addr =
   (frame * Layout.page_size) + (addr land (Layout.page_size - 1))
 
 let load v addr = P.load v.env (translate v addr)
+
+(* Non-temporal load: must not fault pages in.  A recovery-time sweep
+   over a whole region would otherwise pull every page of the region
+   into SCM at attach time — charging page I/O and consuming frames the
+   working set never asked for.  A page that is not resident has its
+   authoritative copy in the backing file, so read the word from there
+   without installing a frame. *)
+let load_nt v addr =
+  let t = v.pmem in
+  if not (Layout.is_persistent addr) then
+    invalid_arg (Printf.sprintf "Pmem: %#x is not a persistent address" addr);
+  let vpage = Layout.page_of addr in
+  let r = find_region t addr in
+  let page_off = vpage - Layout.page_of r.base in
+  match Manager.frame_of t.mgr ~inode:r.inode ~page_off with
+  | Some frame ->
+      Hashtbl.replace t.vpage_cache vpage frame;
+      P.load_nt v.env
+        ((frame * Layout.page_size) + (addr land (Layout.page_size - 1)))
+  | None ->
+      let buf =
+        match t.peek_page with
+        | Some (i, p, b) when i = r.inode && p = page_off -> b
+        | _ ->
+            let b = Bytes.create Layout.page_size in
+            Backing_store.read_page t.backing r.inode page_off b;
+            t.peek_page <- Some (r.inode, page_off, b);
+            b
+      in
+      Scm.Word.get buf (addr land (Layout.page_size - 1))
 let store v addr x = P.store v.env (translate v addr) x
 let wtstore v addr x = P.wtstore v.env (translate v addr) x
 let flush v addr = P.flush v.env (translate v addr)
@@ -191,12 +225,16 @@ let open_instance machine backing =
       regions = [];
       by_inode = Hashtbl.create 16;
       vpage_cache = Hashtbl.create 1024;
+      peek_page = None;
       next_dyn = Layout.dynamic_base;
       default_env;
       remap_ns = 0;
     }
   in
   Manager.on_evict mgr (fun ~inode ~page_off ->
+      (match t.peek_page with
+      | Some (i, p, _) when i = inode && p = page_off -> t.peek_page <- None
+      | _ -> ());
       match Hashtbl.find_opt t.by_inode inode with
       | None -> ()
       | Some r ->

@@ -63,6 +63,13 @@ val is_persistent : int -> bool
 (** {1 Memory primitives on virtual addresses} *)
 
 val load : view -> int -> int64
+
+val load_nt : view -> int -> int64
+(** Non-temporal load: coherent but never allocates a cache line and
+    never faults a page in — a non-resident page is read from its
+    backing file without installing a frame.  For recovery-time sweeps
+    over whole regions (see {!Scm.Primitives.load_nt}). *)
+
 val store : view -> int -> int64 -> unit
 val wtstore : view -> int -> int64 -> unit
 val flush : view -> int -> unit

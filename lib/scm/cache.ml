@@ -7,6 +7,7 @@ type t = {
   lines : (int, line) Hashtbl.t;
   rng : Random.State.t;
   obs : Obs.t;
+  cp : Crashpoint.t;
   evict_ctr : Obs.Metrics.counter;
   mutable evictions : int;
   (* Dense array of resident line addresses for O(1) random victim
@@ -16,11 +17,12 @@ type t = {
   index : (int, int) Hashtbl.t;
 }
 
-let create ?(line_size = 64) ?(capacity_lines = 8192) ?(seed = 0xcafe) ?obs dev
-    =
+let create ?(line_size = 64) ?(capacity_lines = 8192) ?(seed = 0xcafe) ?obs
+    ?cp dev =
   if line_size <= 0 || line_size land 7 <> 0 then
     invalid_arg "Cache.create: line_size";
   let obs = match obs with Some o -> o | None -> Obs.create () in
+  let cp = match cp with Some c -> c | None -> Crashpoint.create () in
   {
     dev;
     line_size;
@@ -28,6 +30,7 @@ let create ?(line_size = 64) ?(capacity_lines = 8192) ?(seed = 0xcafe) ?obs dev
     lines = Hashtbl.create (2 * capacity_lines);
     rng = Random.State.make [| seed |];
     obs;
+    cp;
     evict_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.cache.evictions";
     evictions = 0;
     members = Array.make (max 16 capacity_lines) (-1);
@@ -60,6 +63,7 @@ let member_remove t base =
       Hashtbl.remove t.index base
 
 let write_back t base line =
+  Crashpoint.tick t.cp Crashpoint.Cache_writeback;
   Scm_device.write_from t.dev base line.data 0 t.line_size;
   line.dirty <- false
 
@@ -95,6 +99,17 @@ let get_line t addr =
 let read_word t addr =
   let base, line = get_line t addr in
   Word.get line.data (addr - base)
+
+(* Coherent read that never allocates a line (an uncached/non-temporal
+   load): resident lines answer from the cache, everything else reads
+   the device directly.  Recovery-time sweeps use this so scanning a
+   whole region does not evict the working set or consume the eviction
+   rng. *)
+let peek_word t addr =
+  let base = line_base t addr in
+  match Hashtbl.find_opt t.lines base with
+  | Some line -> Word.get line.data (addr - base)
+  | None -> Scm_device.load64 t.dev (addr - (addr mod 8))
 
 let write_word t addr v =
   let base, line = get_line t addr in

@@ -17,13 +17,16 @@ val create :
   ?capacity_lines:int ->
   ?seed:int ->
   ?obs:Obs.t ->
+  ?cp:Crashpoint.t ->
   Scm_device.t ->
   t
 (** [create dev] makes a cache over [dev].  [capacity_lines] bounds the
     number of resident lines (default 8192 = 512 KiB); exceeding it
     evicts a pseudo-random victim, writing it back if dirty.  Evictions
     feed [obs] (counter [scm.cache.evictions] plus a [Cache_evict]
-    trace event when tracing). *)
+    trace event when tracing).  Every dirty-line write-back (flush,
+    eviction, or forced) ticks [cp] (default: a private disarmed
+    counter). *)
 
 val line_size : t -> int
 val line_base : t -> int -> int
@@ -32,6 +35,12 @@ val line_base : t -> int -> int
 
 val read_word : t -> int -> int64
 (** Read through the cache (allocate-on-read). *)
+
+val peek_word : t -> int -> int64
+(** Coherent read that never allocates a line (an uncached load):
+    answers from the cache when the line is resident, from the device
+    otherwise.  Recovery-time region sweeps use this so a full scan
+    neither evicts the working set nor advances the eviction rng. *)
 
 val write_word : t -> int -> int64 -> unit
 (** Write into the cache, marking the line dirty.  Not durable until the

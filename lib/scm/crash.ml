@@ -6,6 +6,10 @@ type policy = { cache : cache_policy; wc : wc_policy }
 let default = { cache = Evict_random 0.3; wc = Wc_random_subset }
 
 let inject ?(policy = default) (m : Env.machine) =
+  (* The injection below reaches the device through the same write-back
+     and drain paths that tick the crash-point counter; disarm it so
+     applying the crash policy cannot itself "crash". *)
+  Crashpoint.disarm m.crash_point;
   let rng = m.crash_rng in
   (* Streaming stores race with cache write-backs; interleave arbitrarily
      by doing WC first or last at random.  Since both act on disjoint

@@ -34,4 +34,6 @@ val default : policy
     used by crash tests. *)
 
 val inject : ?policy:policy -> Env.machine -> unit
-(** Apply the policy and wipe all volatile state. *)
+(** Apply the policy and wipe all volatile state.  Disarms the
+    machine's crash point first, so injection itself cannot trigger a
+    nested simulated crash. *)

@@ -4,6 +4,7 @@ type machine = {
   latency : Latency_model.t;
   crash_rng : Random.State.t;
   obs : Obs.t;
+  crash_point : Crashpoint.t;
   mutable wc_buffers : Wc_buffer.t list;
   mutable media_busy_until : int;
 }
@@ -16,11 +17,14 @@ type t = {
 }
 
 let make_machine ?(latency = Latency_model.default) ?cache_capacity_lines
-    ?(seed = 42) ?obs ~nframes () =
+    ?(seed = 42) ?obs ?crash_point ~nframes () =
   let obs = match obs with Some o -> o | None -> Obs.create () in
+  let cp =
+    match crash_point with Some c -> c | None -> Crashpoint.create ()
+  in
   let dev = Scm_device.create ~nframes () in
   let cache =
-    Cache.create ?capacity_lines:cache_capacity_lines ~seed ~obs dev
+    Cache.create ?capacity_lines:cache_capacity_lines ~seed ~obs ~cp dev
   in
   {
     dev;
@@ -28,15 +32,19 @@ let make_machine ?(latency = Latency_model.default) ?cache_capacity_lines
     latency;
     crash_rng = Random.State.make [| seed; 0x5eed |];
     obs;
+    crash_point = cp;
     wc_buffers = [];
     media_busy_until = 0;
   }
 
 let machine_of_device ?(latency = Latency_model.default) ?cache_capacity_lines
-    ?(seed = 42) ?obs dev =
+    ?(seed = 42) ?obs ?crash_point dev =
   let obs = match obs with Some o -> o | None -> Obs.create () in
+  let cp =
+    match crash_point with Some c -> c | None -> Crashpoint.create ()
+  in
   let cache =
-    Cache.create ?capacity_lines:cache_capacity_lines ~seed ~obs dev
+    Cache.create ?capacity_lines:cache_capacity_lines ~seed ~obs ~cp dev
   in
   {
     dev;
@@ -44,12 +52,15 @@ let machine_of_device ?(latency = Latency_model.default) ?cache_capacity_lines
     latency;
     crash_rng = Random.State.make [| seed; 0x5eed |];
     obs;
+    crash_point = cp;
     wc_buffers = [];
     media_busy_until = 0;
   }
 
 let attach_wc machine =
-  let wc = Wc_buffer.create ~obs:machine.obs machine.dev in
+  let wc =
+    Wc_buffer.create ~obs:machine.obs ~cp:machine.crash_point machine.dev
+  in
   machine.wc_buffers <- wc :: machine.wc_buffers;
   wc
 

@@ -20,6 +20,11 @@ type machine = {
           an optional event trace.  Instrumentation throughout the
           stack reaches it through the environment, so a disabled
           trace costs one branch per hook. *)
+  crash_point : Crashpoint.t;
+      (** Persistence-operation counter shared by the cache, every WC
+          buffer, and the fence path.  Disarmed it only counts; armed
+          (the crash-schedule explorer) it turns one exact operation
+          index into a {!Crashpoint.Simulated_crash}. *)
   mutable wc_buffers : Wc_buffer.t list;
       (** Every live write-combining buffer; crash injection must see
           them all. *)
@@ -42,17 +47,20 @@ val make_machine :
   ?cache_capacity_lines:int ->
   ?seed:int ->
   ?obs:Obs.t ->
+  ?crash_point:Crashpoint.t ->
   nframes:int ->
   unit ->
   machine
 (** Build a machine: device of [nframes] 4-KiB frames plus cache.
-    [obs] defaults to a fresh handle with tracing disabled. *)
+    [obs] defaults to a fresh handle with tracing disabled;
+    [crash_point] to a fresh disarmed counter. *)
 
 val machine_of_device :
   ?latency:Latency_model.t ->
   ?cache_capacity_lines:int ->
   ?seed:int ->
   ?obs:Obs.t ->
+  ?crash_point:Crashpoint.t ->
   Scm_device.t ->
   machine
 (** Wrap an existing device (e.g. one reloaded from a crash image) in

@@ -12,6 +12,21 @@ let load (env : Env.t) addr =
       drain_if_pending env addr;
       Cache.read_word env.machine.cache addr
 
+(* Non-temporal load: coherent, but never allocates a cache line —
+   recovery-time sweeps over whole regions must leave the cache (and
+   its eviction rng) untouched.  Sequential streaming reads pipeline at
+   bandwidth, so a whole 4-KiB log buffer streams in well under a
+   microsecond — and charging (or even yielding to the simulator) per
+   word would perturb every process interleaving whenever a thread
+   attaches a log.  No latency is charged per word; the writes such a
+   sweep decides to make go through {!wtstore} and pay full price. *)
+let load_nt (env : Env.t) addr =
+  match Wc_buffer.lookup env.wc addr with
+  | Some v -> v
+  | None ->
+      drain_if_pending env addr;
+      Cache.peek_word env.machine.cache addr
+
 let store (env : Env.t) addr v =
   env.delay env.machine.latency.cache_hit_ns;
   drain_if_pending env addr;
@@ -58,6 +73,7 @@ let flush (env : Env.t) addr =
   end
 
 let fence_impl (env : Env.t) =
+  Crashpoint.tick env.machine.crash_point Crashpoint.Fence;
   let lat = env.machine.latency in
   let bytes = Wc_buffer.pending_bytes env.wc in
   Wc_buffer.drain env.wc;

@@ -16,6 +16,12 @@ val load : Env.t -> int -> int64
 (** Read an aligned word.  Sees this thread's pending streaming stores
     (store forwarding) and the shared cache. *)
 
+val load_nt : Env.t -> int -> int64
+(** Non-temporal read: coherent with pending streaming stores and
+    resident cache lines, but never allocates a line (and so never
+    evicts).  Charges the media read latency instead of a cache hit.
+    Meant for recovery-time sweeps over whole regions. *)
+
 val store : Env.t -> int -> int64 -> unit
 (** Cached write; durable only after [flush] + [fence] (or an unlucky
     eviction). *)

@@ -4,25 +4,29 @@ type t = {
   latest : (int, int64) Hashtbl.t;
   lines : (int, int) Hashtbl.t;  (* 64-byte line -> pending word count *)
   obs : Obs.t;
+  cp : Crashpoint.t;
   drain_ctr : Obs.Metrics.counter;
 }
 
 let line_shift = 6
 
-let create ?obs dev =
+let create ?obs ?cp dev =
   let obs = match obs with Some o -> o | None -> Obs.create () in
+  let cp = match cp with Some c -> c | None -> Crashpoint.create () in
   {
     dev;
     order = Queue.create ();
     latest = Hashtbl.create 64;
     lines = Hashtbl.create 64;
     obs;
+    cp;
     drain_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.wc.drains";
   }
 
 let post t addr v =
   if not (Word.is_aligned addr) then
     invalid_arg (Printf.sprintf "Wc_buffer.post: unaligned %#x" addr);
+  Crashpoint.tick t.cp Crashpoint.Wt_post;
   Queue.push (addr, v) t.order;
   Hashtbl.replace t.latest addr v;
   let line = addr lsr line_shift in
@@ -44,6 +48,7 @@ let clear t =
 let drain t =
   let words = Queue.length t.order in
   if words > 0 then begin
+    Crashpoint.tick t.cp Crashpoint.Wc_drain;
     Obs.Metrics.incr t.drain_ctr;
     Obs.instant t.obs Obs.Trace.Wc_drain ~arg:words
   end;

@@ -14,9 +14,11 @@
 
 type t
 
-val create : ?obs:Obs.t -> Scm_device.t -> t
+val create : ?obs:Obs.t -> ?cp:Crashpoint.t -> Scm_device.t -> t
 (** Non-empty drains feed [obs] (counter [scm.wc.drains] plus a
-    [Wc_drain] trace event carrying the pending word count). *)
+    [Wc_drain] trace event carrying the pending word count).  Posts and
+    non-empty drains tick [cp] (default: a private disarmed counter), so
+    an armed crash point can fire between any two streaming stores. *)
 
 val post : t -> int -> int64 -> unit
 (** Queue a 64-bit streaming store to an aligned address. *)

@@ -1,0 +1,16 @@
+let default_nslots = 512
+
+let txn_updates ?(nslots = default_nslots) ~seed ~t () =
+  let rng = Random.State.make [| seed; t |] in
+  let n = 1 + Random.State.int rng 8 in
+  List.init n (fun _ ->
+      let slot = Random.State.int rng nslots in
+      let value = Int64.of_int (1 + Random.State.int rng 0x3fffffff) in
+      (slot, value))
+
+let model_after ?(nslots = default_nslots) ~seed count =
+  let m = Array.make nslots 0L in
+  for t = 0 to count - 1 do
+    List.iter (fun (slot, v) -> m.(slot) <- v) (txn_updates ~nslots ~seed ~t ())
+  done;
+  m

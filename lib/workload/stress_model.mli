@@ -1,0 +1,17 @@
+(** The deterministic random-update workload of the paper's crash
+    stress test (section 6.2), shared by [crash_stress] and
+    [crash_explore].
+
+    Transaction [t] of a run with a given [seed] writes a fixed set of
+    (slot, value) pairs derived purely from [(seed, t)], so the exact
+    memory image after any number of committed transactions can be
+    recomputed by replay — the verifier's ground truth. *)
+
+val default_nslots : int
+(** 512 slots of 8 bytes. *)
+
+val txn_updates : ?nslots:int -> seed:int -> t:int -> unit -> (int * int64) list
+(** The (slot, value) writes of transaction [t]. *)
+
+val model_after : ?nslots:int -> seed:int -> int -> int64 array
+(** Slot contents after replaying transactions [0 .. count - 1]. *)

@@ -385,6 +385,232 @@ let prop_rawl_rotation_roundtrip =
           records = batch))
 
 (* ------------------------------------------------------------------ *)
+(* Adversarial recovery: hand-planted device states                    *)
+
+(* The 63-bit chunks the packer would emit for [words] — what a record
+   of this payload looks like on the device, minus torn bits. *)
+let chunks_of words =
+  let out = ref [] in
+  let p = Pmlog.Bitstream.Packer.create ~emit:(fun c -> out := c :: !out) in
+  Array.iter (Pmlog.Bitstream.Packer.push p) words;
+  Pmlog.Bitstream.Packer.flush p;
+  List.rev !out
+
+(* Hand-write stored words carrying torn bit 1 at position 63 (the
+   first pass over a fresh log) at buffer position [pos] — simulating
+   the subset of a crashed append's streaming stores that landed. *)
+let plant v ~base ~pos chunks =
+  List.iteri
+    (fun i c ->
+      Region.Pmem.wtstore v
+        (base + 64 + (8 * (pos + i)))
+        (Int64.logor c (Int64.shift_left 1L 63)))
+    chunks;
+  Region.Pmem.fence v
+
+let test_rawl_max_record_words_boundary () =
+  (* append admission, the recovery length-plausibility bound and
+     max_record_words must all be the same function of the capacity *)
+  for cap_words = 4 to 200 do
+    let n = Pmlog.Rawl.max_record_words_for ~cap_words in
+    Alcotest.(check bool)
+      (Printf.sprintf "cap %d: the max record fits" cap_words)
+      true
+      (Pmlog.Bitstream.stored_words_for (n + 1) <= cap_words - 1);
+    Alcotest.(check bool)
+      (Printf.sprintf "cap %d: one more word does not" cap_words)
+      true
+      (Pmlog.Bitstream.stored_words_for (n + 2) > cap_words - 1)
+  done;
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_log v ~cap_words:16 in
+      let nmax = Pmlog.Rawl.max_record_words log in
+      Alcotest.(check int) "instance bound matches the static one" nmax
+        (Pmlog.Rawl.max_record_words_for ~cap_words:16);
+      (match Pmlog.Rawl.append log (Array.make (nmax + 1) 9L) with
+      | Pmlog.Rawl.Full -> ()
+      | Pmlog.Rawl.Appended _ ->
+          Alcotest.fail "a record past the bound must be Full");
+      let r = Array.init nmax (fun i -> Int64.of_int (i + 1)) in
+      (match Pmlog.Rawl.append log r with
+      | Pmlog.Rawl.Appended _ -> ()
+      | Pmlog.Rawl.Full -> Alcotest.fail "a max-size record must fit");
+      Pmlog.Rawl.flush log;
+      let _, v' = reboot m dir in
+      let _, records = Pmlog.Rawl.attach v' ~base in
+      Alcotest.check record_list "a max-size record recovers" [ r ] records)
+
+let test_rawl_implausible_length_rejected () =
+  (* A stale word can decode to any length.  Recovery must reject every
+     length no append could have produced — in particular the first
+     value past max_record_words, which an unreconciled (laxer) scan
+     bound would admit. *)
+  List.iter
+    (fun bogus ->
+      with_tmpdir (fun dir ->
+          let m, v = stack dir in
+          let base, log = make_log v ~cap_words:128 in
+          ignore (Pmlog.Rawl.append log [| 1L; 2L |]);
+          Pmlog.Rawl.flush log;
+          (* plant the bogus length word right at the tail (the first
+             record spans stored positions 0..3) *)
+          plant v ~base ~pos:4 (chunks_of [| Int64.of_int bogus |]);
+          Scm.Crash.inject m;
+          let _, v' = reboot m dir in
+          let _, records = Pmlog.Rawl.attach v' ~base in
+          Alcotest.check record_list
+            (Printf.sprintf "length %d rejected, no phantom record" bogus)
+            [ [| 1L; 2L |] ]
+            records))
+    [ 0;
+      Pmlog.Rawl.max_record_words_for ~cap_words:128 + 1;
+      128;
+      max_int lsr 8 ]
+
+let test_rawl_stale_word_beyond_gap_erased () =
+  (* Crash-landed subsets are arbitrary: a perfectly plausible stale
+     record image can sit beyond a gap of never-written words.  The
+     recovery erase must sweep the whole free region — an erase that
+     stops at the first missing word leaves the stale image in place,
+     and once later appends fill the gap the next recovery scan runs
+     straight into it and surfaces a phantom record. *)
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_log v ~cap_words:64 in
+      ignore (Pmlog.Rawl.append log [| 1L; 2L |]);
+      (* spans positions 0..3 *)
+      Pmlog.Rawl.flush log;
+      (* a crashed append whose words at positions 4..6 never landed
+         but whose tail did: a complete record image at positions 7..9 *)
+      plant v ~base ~pos:7 (chunks_of [| 1L; 0xbadL |]);
+      Scm.Crash.inject m;
+      let m2, v2 = reboot m dir in
+      let log2, recs1 = Pmlog.Rawl.attach v2 ~base in
+      Alcotest.check record_list "scan stops at the gap" [ [| 1L; 2L |] ]
+        recs1;
+      (* a new append fills the gap exactly (span 3: positions 4..6) *)
+      ignore (Pmlog.Rawl.append log2 [| 7L |]);
+      Pmlog.Rawl.flush log2;
+      Scm.Crash.inject
+        ~policy:{ cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_drop }
+        m2;
+      let _, v3 = reboot m2 dir in
+      let _, recs2 = Pmlog.Rawl.attach v3 ~base in
+      Alcotest.check record_list "the planted image must not resurface"
+        [ [| 1L; 2L |]; [| 7L |] ]
+        recs2)
+
+let test_rawl_partial_trailing_wrap () =
+  (* A torn append spanning the wrap point, for many crash seeds: the
+     recovery must surface either just the flushed prefix or the whole
+     record (if every store landed), never garbage — and the recovered
+     log must stay usable through another append/crash/recover cycle. *)
+  let torn = Array.make 8 6L in
+  for seed = 0 to 29 do
+    with_tmpdir (fun dir ->
+        let m, v = stack ~seed dir in
+        let base, log = make_log v ~cap_words:32 in
+        (* two flushed+consumed records advance the tail to position 24 *)
+        List.iter
+          (fun r ->
+            (match Pmlog.Rawl.append log r with
+            | Pmlog.Rawl.Appended _ -> ()
+            | Pmlog.Rawl.Full -> Alcotest.fail "unexpected Full");
+            Pmlog.Rawl.flush log;
+            Pmlog.Rawl.truncate_all log)
+          [ Array.make 10 1L; Array.make 10 2L ];
+        ignore (Pmlog.Rawl.append log [| 5L |]);
+        (* positions 24..26 *)
+        Pmlog.Rawl.flush log;
+        (* span 10: positions 27..31, then 0..4 on the next pass *)
+        ignore (Pmlog.Rawl.append log torn);
+        Scm.Crash.inject
+          ~policy:
+            { cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_random_subset }
+          m;
+        let m2, v2 = reboot m dir in
+        let log2, recs = Pmlog.Rawl.attach v2 ~base in
+        (match recs with
+        | [ [| 5L |] ] -> ()
+        | [ [| 5L |]; r ] ->
+            Alcotest.check i64_array
+              (Printf.sprintf "seed %d: complete wrap record" seed)
+              torn r
+        | _ ->
+            Alcotest.failf "seed %d: unexpected recovery (%d records)" seed
+              (List.length recs));
+        ignore (Pmlog.Rawl.append log2 [| 9L |]);
+        Pmlog.Rawl.flush log2;
+        Scm.Crash.inject
+          ~policy:{ cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_drop }
+          m2;
+        let _, v3 = reboot m2 dir in
+        let _, recs2 = Pmlog.Rawl.attach v3 ~base in
+        Alcotest.check record_list
+          (Printf.sprintf "seed %d: second recovery consistent" seed)
+          (recs @ [ [| 9L |] ])
+          recs2)
+  done
+
+let test_rawl_recovery_crash_idempotent () =
+  (* Crash the recovery itself — including mid-erase — at every op
+     index, then recover again: the second recovery must converge to
+     the same records as an uninterrupted one, from every intermediate
+     state the erase sweep can be left in. *)
+  with_tmpdir (fun dir ->
+      let m, v = stack dir in
+      let base, log = make_log v ~cap_words:64 in
+      ignore (Pmlog.Rawl.append log [| 1L; 2L |]);
+      Pmlog.Rawl.flush log;
+      (* stale debris for the erase to clean: a lone mid-append word and
+         a full record image beyond the gap *)
+      plant v ~base ~pos:5 [ List.nth (chunks_of [| 3L; 4L; 5L |]) 1 ];
+      plant v ~base ~pos:7 (chunks_of [| 1L; 0xbadL |]);
+      Scm.Crash.inject m;
+      let dev0 = Scm.Scm_device.copy m.Scm.Env.dev in
+      let try_recover dev ~crash_point =
+        let m' = Scm.Env.machine_of_device ?crash_point dev in
+        let backing = Region.Backing_store.open_dir dir in
+        match
+          let t = Region.Pmem.open_instance m' backing in
+          Pmlog.Rawl.attach (Region.Pmem.default_view t) ~base
+        with
+        | _, records -> Ok records
+        | exception Scm.Crashpoint.Simulated_crash _ ->
+            Scm.Crash.inject m';
+            Error ()
+      in
+      let baseline =
+        match try_recover (Scm.Scm_device.copy dev0) ~crash_point:None with
+        | Ok records -> records
+        | Error () -> Alcotest.fail "disarmed recovery crashed"
+      in
+      Alcotest.check record_list "baseline recovery" [ [| 1L; 2L |] ] baseline;
+      let explored = ref 0 in
+      let k = ref 1 and finished = ref false in
+      while not !finished do
+        let dev = Scm.Scm_device.copy dev0 in
+        let cp = Scm.Crashpoint.create () in
+        Scm.Crashpoint.arm cp ~at:!k;
+        (match try_recover dev ~crash_point:(Some cp) with
+        | Ok records ->
+            (* op !k lies beyond the recovery: the sweep is exhausted *)
+            Alcotest.check record_list "uncrashed tail run" baseline records;
+            finished := true
+        | Error () -> (
+            incr explored;
+            match try_recover dev ~crash_point:None with
+            | Ok records ->
+                Alcotest.check record_list
+                  (Printf.sprintf "second recovery after a crash at op %d" !k)
+                  baseline records
+            | Error () -> Alcotest.fail "disarmed recovery crashed"));
+        incr k
+      done;
+      Alcotest.(check bool) "crash points were explored" true (!explored > 0))
+
+(* ------------------------------------------------------------------ *)
 (* Commit log *)
 
 let make_clog v ~cap_words =
@@ -473,6 +699,19 @@ let () =
             test_rawl_tornbit_rotation;
           QCheck_alcotest.to_alcotest prop_rawl_recovery_prefix;
           QCheck_alcotest.to_alcotest prop_rawl_rotation_roundtrip;
+        ] );
+      ( "rawl-adversarial",
+        [
+          Alcotest.test_case "max_record_words boundary" `Quick
+            test_rawl_max_record_words_boundary;
+          Alcotest.test_case "implausible length rejected" `Quick
+            test_rawl_implausible_length_rejected;
+          Alcotest.test_case "stale word beyond gap erased" `Quick
+            test_rawl_stale_word_beyond_gap_erased;
+          Alcotest.test_case "partial trailing record over wrap" `Quick
+            test_rawl_partial_trailing_wrap;
+          Alcotest.test_case "crash during recovery is idempotent" `Quick
+            test_rawl_recovery_crash_idempotent;
         ] );
       ( "commit-log",
         [

@@ -247,6 +247,67 @@ let test_crash_random_eviction_policy () =
   Alcotest.(check bool) "some lines lost" true (!survived < 200)
 
 (* ------------------------------------------------------------------ *)
+(* Crash points *)
+
+(* A small fixed op sequence: streaming stores, a fence, a cached store
+   pushed out through a write-back. *)
+let crashpoint_workload env =
+  Primitives.wtstore env 0 1L;
+  Primitives.wtstore env 8 2L;
+  Primitives.fence env;
+  Primitives.store env 64 3L;
+  Primitives.persist env 64 8
+
+let test_crashpoint_counts_deterministically () =
+  let count_once () =
+    let cp = Crashpoint.create () in
+    let m = Env.make_machine ~seed:7 ~nframes:64 ~crash_point:cp () in
+    crashpoint_workload (Env.standalone m);
+    Crashpoint.count cp
+  in
+  let n = count_once () in
+  Alcotest.(check bool) "several ops ticked" true (n >= 4);
+  Alcotest.(check int) "identical re-run, identical count" n (count_once ())
+
+let test_crashpoint_fires_at_every_index () =
+  let cp0 = Crashpoint.create () in
+  let m0 = Env.make_machine ~seed:7 ~nframes:64 ~crash_point:cp0 () in
+  crashpoint_workload (Env.standalone m0);
+  let n = Crashpoint.count cp0 in
+  for k = 1 to n do
+    let cp = Crashpoint.create () in
+    Crashpoint.arm cp ~at:k;
+    let m = Env.make_machine ~seed:7 ~nframes:64 ~crash_point:cp () in
+    let env = Env.standalone m in
+    (match crashpoint_workload env with
+    | () -> Alcotest.failf "armed at op %d but the workload completed" k
+    | exception Crashpoint.Simulated_crash { op; _ } ->
+        Alcotest.(check int) "fires exactly at its index" k op;
+        Alcotest.(check bool) "latched" true (Crashpoint.crashed cp));
+    (* the machine is dead: every further persistence op must re-raise,
+       so no cleanup path can leak writes past the crash *)
+    (match Primitives.wtstore env 16 9L with
+    | () -> Alcotest.fail "op after the crash did not re-raise"
+    | exception Crashpoint.Simulated_crash _ -> ());
+    (* crash injection itself must go through (it disarms first) *)
+    Crash.inject m
+  done
+
+let test_crashpoint_arm_validation () =
+  let cp = Crashpoint.create () in
+  Alcotest.check_raises "index 0 rejected"
+    (Invalid_argument "Crashpoint.arm: op indices start at 1") (fun () ->
+      Crashpoint.arm cp ~at:0);
+  Crashpoint.arm cp ~at:3;
+  Alcotest.(check (option int)) "armed" (Some 3) (Crashpoint.target cp);
+  Crashpoint.disarm cp;
+  Alcotest.(check (option int)) "disarmed" None (Crashpoint.target cp);
+  (* disarmed ticking never raises *)
+  let m = Env.make_machine ~seed:7 ~nframes:64 ~crash_point:cp () in
+  crashpoint_workload (Env.standalone m);
+  Alcotest.(check bool) "not crashed" false (Crashpoint.crashed cp)
+
+(* ------------------------------------------------------------------ *)
 (* Word helpers *)
 
 let test_word_bits () =
@@ -370,6 +431,15 @@ let () =
             test_crash_preserves_persisted;
           Alcotest.test_case "random eviction policy" `Quick
             test_crash_random_eviction_policy;
+        ] );
+      ( "crashpoint",
+        [
+          Alcotest.test_case "deterministic op count" `Quick
+            test_crashpoint_counts_deterministically;
+          Alcotest.test_case "fires at every index" `Quick
+            test_crashpoint_fires_at_every_index;
+          Alcotest.test_case "arm validation" `Quick
+            test_crashpoint_arm_validation;
         ] );
       ( "word",
         [
