@@ -20,6 +20,106 @@ let tmp_root =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "mnemosyne-bench-%d" (Unix.getpid ()))
 
+(* ------------------------------------------------------------------ *)
+(* JSON perf output (--json FILE, --baseline FILE)                     *)
+
+(* Sections register wall-clock/simulated figures here; --json dumps
+   them under a stable schema (documented in EXPERIMENTS.md) so CI can
+   track the perf trajectory across PRs and fail on regressions. *)
+let json_schema = "mnemosyne-bench/1"
+let json_sections : (string * (string * float) list) list ref = ref []
+
+let json_add section kvs =
+  json_sections := !json_sections @ [ (section, kvs) ]
+
+let json_write file =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"schema\": %S,\n  \"sections\": {\n" json_schema);
+  List.iteri
+    (fun i (name, kvs) ->
+      Buffer.add_string buf (Printf.sprintf "    %S: {\n" name);
+      List.iteri
+        (fun j (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "      %S: %.6g%s\n" k v
+               (if j = List.length kvs - 1 then "" else ",")))
+        kvs;
+      Buffer.add_string buf
+        (Printf.sprintf "    }%s\n"
+           (if i = List.length !json_sections - 1 then "" else ",")))
+    !json_sections;
+  Buffer.add_string buf "  }\n}\n";
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf))
+
+(* Minimal extraction of ["sections"][section][key] from a bench JSON
+   file: the schema above is flat enough that locating the section
+   object and scanning it for the key is exact.  No JSON library is
+   available in the container, and the schema is ours. *)
+let json_find ~section ~key text =
+  let find_from pat pos =
+    let plen = String.length pat in
+    let n = String.length text in
+    let rec go i =
+      if i + plen > n then None
+      else if String.sub text i plen = pat then Some (i + plen)
+      else go (i + 1)
+    in
+    go pos
+  in
+  match find_from (Printf.sprintf "%S: {" section) 0 with
+  | None -> None
+  | Some sec_start -> (
+      let sec_end =
+        match String.index_from_opt text sec_start '}' with
+        | Some e -> e
+        | None -> String.length text
+      in
+      match find_from (Printf.sprintf "%S:" key) sec_start with
+      | Some vpos when vpos < sec_end ->
+          let rec skip i =
+            if i < sec_end && (text.[i] = ' ' || text.[i] = '\t') then
+              skip (i + 1)
+            else i
+          in
+          let s = skip vpos in
+          let e = ref s in
+          while
+            !e < sec_end
+            && (match text.[!e] with
+               | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+               | _ -> false)
+          do
+            incr e
+          done;
+          float_of_string_opt (String.sub text s (!e - s))
+      | _ -> None)
+
+(* Compare the just-measured throughput figures against a committed
+   baseline; returns the failures (section, key, baseline, current). *)
+let json_check_baseline file ~max_regress_pct =
+  let text = In_channel.with_open_text file In_channel.input_all in
+  let failures = ref [] in
+  List.iter
+    (fun (section, kvs) ->
+      List.iter
+        (fun (key, cur) ->
+          (* only throughput figures regress downward *)
+          if String.length key >= 5 && String.sub key 0 5 = "wall_"
+             && String.length key > 6
+             && String.sub key (String.length key - 6) 6 = "_per_s"
+          then
+            match json_find ~section ~key text with
+            | Some base when base > 0.0 ->
+                let drop = (base -. cur) /. base *. 100.0 in
+                if drop > max_regress_pct then
+                  failures := (section, key, base, cur) :: !failures
+            | Some _ | None -> ())
+        kvs)
+    !json_sections;
+  List.rev !failures
+
 let fresh_dir =
   let n = ref 0 in
   fun name ->
@@ -1061,6 +1161,96 @@ let kvstore () =
   rm_rf dir
 
 (* ------------------------------------------------------------------ *)
+(* Commit-path wall-clock microbenchmark (the perf-trajectory anchor)  *)
+
+(* Unlike every section above, this one measures HOST time: the cost of
+   the simulator itself on the per-operation and per-commit fast paths.
+   Simulated-time figures are reported alongside as a cross-check that
+   wall-clock optimizations did not shift modeled results. *)
+let commit_bench () =
+  Workload.Report.section "commit_bench"
+    "commit-path wall-clock microbenchmark (host time; sim figures as \
+     cross-check)";
+  let nslots = 512 in
+  let run_case ~name ~writes_per_txn ~reads_per_txn ~iters =
+    let dir = fresh_dir "commitb" in
+    let inst = Mnemosyne.open_instance ~geometry ~dir () in
+    let slot = Mnemosyne.pstatic inst "bench.commit" 8 in
+    let data =
+      Mnemosyne.atomically inst (fun tx ->
+          let a = Mtm.Txn.alloc tx (nslots * 8) ~slot in
+          for i = 0 to nslots - 1 do
+            Mtm.Txn.store tx (a + (8 * i)) 0L
+          done;
+          a)
+    in
+    let env = (Mnemosyne.view inst).Region.Pmem.env in
+    let body i =
+      Mnemosyne.atomically inst (fun tx ->
+          for j = 0 to reads_per_txn - 1 do
+            ignore
+              (Mtm.Txn.load tx
+                 (data + (8 * (((i * 7) + (j * 13)) mod nslots))))
+          done;
+          for j = 0 to writes_per_txn - 1 do
+            Mtm.Txn.store tx
+              (data + (8 * (((i * 11) + (j * 17)) mod nslots)))
+              (Int64.of_int ((i * 31) + j))
+          done)
+    in
+    (* warm the caches, the heap indexes and the lock table *)
+    for i = 1 to 500 do
+      body i
+    done;
+    let sim0 = env.now () in
+    let minor0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to iters do
+      body i
+    done;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let minor = Gc.minor_words () -. minor0 in
+    let sim_ns = env.now () - sim0 in
+    rm_rf dir;
+    let per_commit_ns = wall_s *. 1e9 /. float_of_int iters in
+    let commits_per_s = float_of_int iters /. wall_s in
+    let sim_us = float_of_int sim_ns /. float_of_int iters /. 1000.0 in
+    let minor_per_commit = minor /. float_of_int iters in
+    json_add name
+      [
+        ("wall_commits_per_s", commits_per_s);
+        ("wall_ns_per_commit", per_commit_ns);
+        ("sim_us_per_commit", sim_us);
+        ("minor_words_per_commit", minor_per_commit);
+        ("iters", float_of_int iters);
+        ("writes_per_txn", float_of_int writes_per_txn);
+        ("reads_per_txn", float_of_int reads_per_txn);
+      ];
+    [ name;
+      Printf.sprintf "%.0f" commits_per_s;
+      Printf.sprintf "%.2f" (per_commit_ns /. 1000.0);
+      Printf.sprintf "%.2f" sim_us;
+      Printf.sprintf "%.0f" minor_per_commit ]
+  in
+  let rows =
+    [
+      run_case ~name:"commit" ~writes_per_txn:8 ~reads_per_txn:4
+        ~iters:20_000;
+      run_case ~name:"commit_wide" ~writes_per_txn:64 ~reads_per_txn:0
+        ~iters:4_000;
+      run_case ~name:"readonly" ~writes_per_txn:0 ~reads_per_txn:8
+        ~iters:20_000;
+    ]
+  in
+  Workload.Report.table
+    ~header:
+      [ "case"; "commits/s (wall)"; "us/commit (wall)"; "us/commit (sim)";
+        "minor words/commit" ]
+    rows;
+  Workload.Report.note
+    "host-CPU figures; the sim column must be invariant across PRs"
+
+(* ------------------------------------------------------------------ *)
 (* Table 1 (context)                                                   *)
 
 let table1 () =
@@ -1135,6 +1325,7 @@ let wallclock () =
 
 let all_sections =
   [
+    ("commit_bench", commit_bench);
     ("table1", table1);
     ("figure4+5", figures_4_and_5);
     ("table4", table4);
@@ -1153,50 +1344,105 @@ let all_sections =
 
 let () =
   if not (Sys.file_exists tmp_root) then Sys.mkdir tmp_root 0o755;
-  Fun.protect
-    ~finally:(fun () -> rm_rf tmp_root)
-    (fun () ->
-      let rec parse = function
-        | [] -> []
-        | "--trace" :: file :: rest
-          when String.length file > 0 && file.[0] <> '-' ->
-            (* fail before the run, not after a few minutes of benching *)
-            (try close_out (open_out file)
-             with Sys_error msg ->
-               Printf.eprintf "bench: cannot write trace file: %s\n" msg;
-               exit 2);
-            trace_file := Some file;
+  (* Exception-safe scratch cleanup: at_exit also covers [exit] calls
+     (argument errors, --baseline failures) and uncaught exceptions
+     from a raising section, which a [Fun.protect] around the run body
+     would miss on the [exit] paths.  [rm_rf] itself must not raise or
+     it would mask the real failure. *)
+  at_exit (fun () -> try rm_rf tmp_root with Sys_error _ -> ());
+  let json_file = ref None in
+  let baseline = ref None in
+  let max_regress = ref 30.0 in
+  let rec parse = function
+    | [] -> []
+    | "--trace" :: file :: rest when String.length file > 0 && file.[0] <> '-'
+      ->
+        (* fail before the run, not after a few minutes of benching *)
+        (try close_out (open_out file)
+         with Sys_error msg ->
+           Printf.eprintf "bench: cannot write trace file: %s\n" msg;
+           exit 2);
+        trace_file := Some file;
+        parse rest
+    | "--trace" :: _ ->
+        prerr_endline "bench: --trace requires a FILE argument";
+        exit 2
+    | "--json" :: file :: rest when String.length file > 0 && file.[0] <> '-'
+      ->
+        (try close_out (open_out file)
+         with Sys_error msg ->
+           Printf.eprintf "bench: cannot write json file: %s\n" msg;
+           exit 2);
+        json_file := Some file;
+        parse rest
+    | "--json" :: _ ->
+        prerr_endline "bench: --json requires a FILE argument";
+        exit 2
+    | "--baseline" :: file :: rest
+      when String.length file > 0 && file.[0] <> '-' ->
+        if not (Sys.file_exists file) then begin
+          Printf.eprintf "bench: baseline file %s does not exist\n" file;
+          exit 2
+        end;
+        baseline := Some file;
+        parse rest
+    | "--baseline" :: _ ->
+        prerr_endline "bench: --baseline requires a FILE argument";
+        exit 2
+    | "--max-regress" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some p when p > 0.0 ->
+            max_regress := p;
             parse rest
-        | "--trace" :: _ ->
-            prerr_endline "bench: --trace requires a FILE argument";
-            exit 2
-        | "--metrics" :: rest ->
-            show_metrics := true;
-            parse rest
-        | a :: rest -> a :: parse rest
-      in
-      let args = parse (List.tl (Array.to_list Sys.argv)) in
-      if List.mem "--wallclock" args then wallclock ()
-      else begin
-        let wanted = List.filter (fun a -> a <> "--wallclock") args in
-        let selected =
-          if wanted = [] then
-            (* --trace/--metrics alone mean "show me the instrumented
-               run", not "trace all thirteen sections" *)
-            if !trace_file <> None || !show_metrics then
-              [ ("kvstore", kvstore) ]
-            else all_sections
-          else
-            List.filter
-              (fun (name, _) ->
-                List.exists
-                  (fun w ->
-                    name = w
-                    || (name = "figure4+5" && (w = "figure4" || w = "figure5")))
-                  wanted)
-              all_sections
-        in
-        Printf.printf
-          "Mnemosyne benchmark harness (simulated time; see EXPERIMENTS.md)\n";
-        List.iter (fun (_, f) -> f ()) selected
-      end)
+        | _ ->
+            prerr_endline "bench: --max-regress requires a positive number";
+            exit 2)
+    | "--metrics" :: rest ->
+        show_metrics := true;
+        parse rest
+    | a :: rest -> a :: parse rest
+  in
+  let args = parse (List.tl (Array.to_list Sys.argv)) in
+  if List.mem "--wallclock" args then wallclock ()
+  else begin
+    let wanted = List.filter (fun a -> a <> "--wallclock") args in
+    let selected =
+      if wanted = [] then
+        (* --trace/--metrics alone mean "show me the instrumented
+           run", not "trace all thirteen sections" *)
+        if !trace_file <> None || !show_metrics then [ ("kvstore", kvstore) ]
+        else all_sections
+      else
+        List.filter
+          (fun (name, _) ->
+            List.exists
+              (fun w ->
+                name = w
+                || (name = "figure4+5" && (w = "figure4" || w = "figure5")))
+              wanted)
+          all_sections
+    in
+    Printf.printf
+      "Mnemosyne benchmark harness (simulated time; see EXPERIMENTS.md)\n";
+    List.iter (fun (_, f) -> f ()) selected;
+    (match !json_file with Some f -> json_write f | None -> ());
+    match !baseline with
+    | None -> ()
+    | Some f -> (
+        match json_check_baseline f ~max_regress_pct:!max_regress with
+        | [] ->
+            Printf.printf
+              "perf check: all throughput figures within %.0f%% of %s\n"
+              !max_regress f
+        | failures ->
+            List.iter
+              (fun (section, key, base, cur) ->
+                Printf.eprintf
+                  "perf REGRESSION: %s.%s fell %.1f%% (baseline %.0f, now \
+                   %.0f)\n"
+                  section key
+                  ((base -. cur) /. base *. 100.0)
+                  base cur)
+              failures;
+            exit 1)
+  end

@@ -207,14 +207,34 @@ let build_setup cfg =
   Mnemosyne.close inst;
   machine.Scm.Env.dev
 
-let fresh_point_state cfg ~dev0 =
-  reset_or_die (run_dir cfg);
-  ensure_dir (run_dir cfg);
-  if not cfg.fresh then
-    copy_dir
-      (Filename.concat (setup_dir cfg) "backing")
-      (Filename.concat (run_dir cfg) "backing");
-  Scm.Scm_device.copy dev0
+(* One working device serves every crash point: its undo journal is
+   enabled once at the post-setup state and rolled back to [mark0]
+   between points, so per-point restore costs O(words that run touched)
+   instead of re-copying the whole arena.
+
+   The run directory gets the same treatment on the file side: most
+   points never touch their backing files (no eviction pressure, and a
+   crashed run never reaches the clean-shutdown sync), so the directory
+   is re-seeded from the setup copy only when {!Region.Backing_store}'s
+   mutation counter shows the previous run actually wrote to it.
+   [run_dir_gen] is the counter value as of the last re-seed, or -1
+   when the directory's contents are unknown (startup, or after a
+   second-level mode copied a crashed snapshot over it). *)
+let run_dir_gen = ref (-1)
+let taint_run_dir () = run_dir_gen := -1
+
+let fresh_point_state cfg ~work ~mark0 =
+  if !run_dir_gen <> Region.Backing_store.global_mutations () then begin
+    reset_or_die (run_dir cfg);
+    ensure_dir (run_dir cfg);
+    if not cfg.fresh then
+      copy_dir
+        (Filename.concat (setup_dir cfg) "backing")
+        (Filename.concat (run_dir cfg) "backing");
+    run_dir_gen := Region.Backing_store.global_mutations ()
+  end;
+  Scm.Scm_device.journal_undo_to work mark0;
+  work
 
 (* ------------------------------------------------------------------ *)
 (* Exploring one crash point                                           *)
@@ -294,8 +314,8 @@ let sample_indices ~upto ~n =
     List.sort_uniq compare
       (List.init n (fun i -> max 1 ((i + 1) * upto / n)))
 
-let explore_point cfg ~dev0 ~k ~second =
-  let dev = fresh_point_state cfg ~dev0 in
+let explore_point cfg ~work ~mark0 ~k ~second =
+  let dev = fresh_point_state cfg ~work ~mark0 in
   let machine, obs1, outcome =
     run_phase cfg ~dev ~dir:(run_dir cfg) ~seed:cfg.seed ~crash_at:(Some k)
       ~updates:true
@@ -341,10 +361,9 @@ let explore_point cfg ~dev0 ~k ~second =
       | Second_at j -> (
           (* snapshot the post-crash state, then crash the recovery (or
              the resumed workload) at op j *)
-          let dev2 = Scm.Scm_device.copy dev in
           snapshot_crashed ();
           match
-            recover_and_verify cfg ~dev:dev2 ~crash_at:(Some j) ~updates:true
+            recover_and_verify cfg ~dev ~crash_at:(Some j) ~updates:true
               ~primary_op:op
           with
           | Ok (c, _) ->
@@ -354,8 +373,10 @@ let explore_point cfg ~dev0 ~k ~second =
                   c
           | Error f -> note_fail ~obs:obs1 f)
       | Sample n -> (
-          (* first a straight recovery + resumed run, counting its ops *)
-          let dev2 = Scm.Scm_device.copy dev in
+          (* first a straight recovery + resumed run, counting its ops;
+             a nested journal mark captures the post-crash state so each
+             second-level attempt rolls back to it *)
+          let mark_crash = Scm.Scm_device.journal_mark dev in
           snapshot_crashed ();
           match
             recover_and_verify cfg ~dev ~crash_at:None ~updates:true
@@ -373,9 +394,10 @@ let explore_point cfg ~dev0 ~k ~second =
                   reset_or_die (run_dir cfg);
                   ensure_dir (run_dir cfg);
                   copy_dir (crashed_dir cfg) (run_dir cfg);
-                  let dev_j = Scm.Scm_device.copy dev2 in
+                  taint_run_dir ();
+                  Scm.Scm_device.journal_undo_to dev mark_crash;
                   match
-                    recover_and_verify cfg ~dev:dev_j ~crash_at:(Some j)
+                    recover_and_verify cfg ~dev ~crash_at:(Some j)
                       ~updates:true ~primary_op:op
                   with
                   | Ok _ -> ()
@@ -386,8 +408,8 @@ let explore_point cfg ~dev0 ~k ~second =
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
-let count_ops cfg ~dev0 =
-  let dev = fresh_point_state cfg ~dev0 in
+let count_ops cfg ~work ~mark0 =
+  let dev = fresh_point_state cfg ~work ~mark0 in
   match
     run_phase cfg ~dev ~dir:(run_dir cfg) ~seed:cfg.seed ~crash_at:None
       ~updates:true
@@ -435,11 +457,13 @@ let run txns seed dir from_ to_ stride max_points at second_at second fresh
   in
   let cfg = { seed; txns; base = dir; geometry; mtm; fresh; verbose } in
   ensure_dir cfg.base;
-  let dev0 =
+  let work =
     if fresh then Scm.Scm_device.create ~nframes:geometry.scm_frames ()
     else build_setup cfg
   in
-  let open_ops, total = count_ops cfg ~dev0 in
+  Scm.Scm_device.journal_start work;
+  let mark0 = Scm.Scm_device.journal_mark work in
+  let open_ops, total = count_ops cfg ~work ~mark0 in
   Printf.printf
     "crash_explore: seed %d, %d txns: %d persistence ops (%d during \
      open/recovery, %d in the workload)\n\
@@ -469,7 +493,7 @@ let run txns seed dir from_ to_ stride max_points at second_at second fresh
     let explored = ref 0 in
     List.iter
       (fun k ->
-        let fs = explore_point cfg ~dev0 ~k ~second:second_mode in
+        let fs = explore_point cfg ~work ~mark0 ~k ~second:second_mode in
         failures := !failures @ fs;
         incr explored;
         if (not verbose) && !explored mod 100 = 0 then

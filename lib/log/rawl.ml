@@ -12,6 +12,15 @@ type t = {
   mutable tail_off : int;
   mutable tail_parity : int;
   mutable tail_tpos : int;
+  append_ctr : Obs.Metrics.counter;  (* log.appends, resolved once *)
+  trunc_ctr : Obs.Metrics.counter;  (* log.truncations, likewise *)
+  (* Record staging area for the allocation-free packing loop in
+     {!append_sub}: the length word and payload are laid out here as
+     raw little-endian bytes, then each 63-bit chunk is read straight
+     out of the byte stream.  8 spare bytes past the record keep the
+     chunk reads in bounds (and are zeroed so the final chunk's padding
+     bits are zero, as {!Bitstream.Packer.flush} would emit). *)
+  mutable scratch : Bytes.t;
 }
 
 let header_bytes = 64
@@ -65,7 +74,7 @@ let unpack_cap w =
 (* Place the 63 payload bits of [chunk] around a hole at bit [tpos]
    carrying the torn bit [b].  With tpos = 63 this is exactly the
    classic layout (payload low, torn bit on top). *)
-let insert_torn chunk tpos b =
+let[@inline] insert_torn chunk tpos b =
   let low_mask = Int64.sub (Int64.shift_left 1L tpos) 1L in
   let low = Int64.logand chunk low_mask in
   let high =
@@ -93,8 +102,14 @@ let next_pass _t ~parity ~tpos = (1 - parity, tpos)
 (* How many buffer passes between torn-bit rotations. *)
 let rotate_period = 16
 
+let mk_counters v =
+  let obs = v.Pmem.env.Scm.Env.machine.Scm.Env.obs in
+  ( Obs.Metrics.counter obs.Obs.metrics "log.appends",
+    Obs.Metrics.counter obs.Obs.metrics "log.truncations" )
+
 let create ?(rotate_torn_bit = false) v ~base ~cap_words =
   if cap_words < 4 then invalid_arg "Rawl.create: capacity too small";
+  let append_ctr, trunc_ctr = mk_counters v in
   let t =
     {
       v;
@@ -108,6 +123,9 @@ let create ?(rotate_torn_bit = false) v ~base ~cap_words =
       tail_off = 0;
       tail_parity = 1;
       tail_tpos = 63;
+      append_ctr;
+      trunc_ctr;
+      scratch = Bytes.make 512 '\000';
     }
   in
   Pmem.wtstore v (cap_addr t) (pack_cap ~cap:cap_words ~rotate:rotate_torn_bit);
@@ -117,7 +135,7 @@ let create ?(rotate_torn_bit = false) v ~base ~cap_words =
 
 type append_result = Appended of int | Full
 
-let write_stored t chunk =
+let[@inline] write_stored t chunk =
   let word = insert_torn chunk t.tail_tpos (t.tail_parity = 1) in
   Pmem.wtstore t.v (slot_addr t t.tail_off) word;
   t.tail_off <- t.tail_off + 1;
@@ -129,27 +147,89 @@ let write_stored t chunk =
     t.tail_tpos <- tpos
   end
 
-let append t payload =
-  let n = Array.length payload in
+let mask63 = 0x7fff_ffff_ffff_ffffL
+
+let ensure_scratch t bytes =
+  if Bytes.length t.scratch < bytes then begin
+    let size = ref (Bytes.length t.scratch) in
+    while !size < bytes do
+      size := 2 * !size
+    done;
+    t.scratch <- Bytes.make !size '\000'
+  end
+
+(* Stream the m = n+1 record words staged in [t.scratch] (length word
+   then payload, little-endian).  Chunk j is bits [63j, 63j+63) of the
+   byte stream, read directly as an aligned-enough int64 load plus one
+   spill byte — equivalent to pushing every word through
+   {!Bitstream.Packer} but with no closure, no boxed accumulator, and
+   no per-word carry bookkeeping.  The 8 bytes past the record are
+   zero, so the final chunk's padding bits match [Packer.flush]. *)
+let append_staged t ~n ~span =
+  let env = t.v.env in
+  let obs = env.Scm.Env.machine.obs in
+  let t0 = env.Scm.Env.now () in
+  (* The paper charges the bit manipulation per word streamed; this is
+     the cost that makes tornbit lose to a commit record for large
+     records (table 6). *)
+  env.Scm.Env.delay ((n + 1) * env.Scm.Env.machine.latency.bit_pack_ns_per_word);
+  let scratch = t.scratch in
+  for j = 0 to span - 1 do
+    let bitpos = 63 * j in
+    let byte = bitpos lsr 3 and bit = bitpos land 7 in
+    let chunk =
+      if bit = 0 then Int64.logand (Bytes.get_int64_le scratch byte) mask63
+      else
+        Int64.logand
+          (Int64.logor
+             (Int64.shift_right_logical (Bytes.get_int64_le scratch byte) bit)
+             (Int64.shift_left
+                (Int64.of_int (Bytes.get_uint8 scratch (byte + 8)))
+                (64 - bit)))
+          mask63
+    in
+    write_stored t chunk
+  done;
+  Obs.Metrics.incr t.append_ctr;
+  Obs.complete obs Obs.Trace.Log_append ~ts:t0
+    ~dur:(env.Scm.Env.now () - t0) ~arg:span;
+  Appended span
+
+let append_sub t payload ~len =
+  let n = len in
   if n = 0 then invalid_arg "Rawl.append: empty record";
+  if n < 0 || n > Array.length payload then
+    invalid_arg "Rawl.append_sub: len";
   let span = Bitstream.stored_words_for (n + 1) in
   if span > free_words t then Full
   else begin
-    let env = t.v.env in
-    let obs = env.Scm.Env.machine.obs in
-    let t0 = env.Scm.Env.now () in
-    (* The paper charges the bit manipulation per word streamed; this is
-       the cost that makes tornbit lose to a commit record for large
-       records (table 6). *)
-    env.Scm.Env.delay ((n + 1) * env.Scm.Env.machine.latency.bit_pack_ns_per_word);
-    let packer = Bitstream.Packer.create ~emit:(fun c -> write_stored t c) in
-    Bitstream.Packer.push packer (Int64.of_int n);
-    Array.iter (Bitstream.Packer.push packer) payload;
-    Bitstream.Packer.flush packer;
-    Obs.Metrics.incr (Obs.Metrics.counter obs.Obs.metrics "log.appends");
-    Obs.complete obs Obs.Trace.Log_append ~ts:t0
-      ~dur:(env.Scm.Env.now () - t0) ~arg:span;
-    Appended span
+    ensure_scratch t (8 * (n + 2));
+    Bytes.set_int64_le t.scratch 0 (Int64.of_int n);
+    for i = 0 to n - 1 do
+      Bytes.set_int64_le t.scratch (8 * (i + 1)) payload.(i)
+    done;
+    Bytes.set_int64_le t.scratch (8 * (n + 1)) 0L;
+    append_staged t ~n ~span
+  end
+
+let append t payload = append_sub t payload ~len:(Array.length payload)
+
+(* Same record, but the payload arrives as raw little-endian bytes
+   ([len] words): one blit stages it, so a commit path that encodes
+   into a [Bytes] buffer never materializes a boxed [Int64]. *)
+let append_bytes t payload ~len =
+  let n = len in
+  if n = 0 then invalid_arg "Rawl.append: empty record";
+  if n < 0 || 8 * n > Bytes.length payload then
+    invalid_arg "Rawl.append_bytes: len";
+  let span = Bitstream.stored_words_for (n + 1) in
+  if span > free_words t then Full
+  else begin
+    ensure_scratch t (8 * (n + 2));
+    Bytes.set_int64_le t.scratch 0 (Int64.of_int n);
+    Bytes.blit payload 0 t.scratch 8 (8 * n);
+    Bytes.set_int64_le t.scratch (8 * (n + 1)) 0L;
+    append_staged t ~n ~span
   end
 
 let flush t = Pmem.fence t.v
@@ -180,7 +260,7 @@ let rotate_generation t =
 
 let note_truncate t ~words =
   let obs = t.v.env.Scm.Env.machine.Scm.Env.obs in
-  Obs.Metrics.incr (Obs.Metrics.counter obs.Obs.metrics "log.truncations");
+  Obs.Metrics.incr t.trunc_ctr;
   Obs.instant_at obs Obs.Trace.Log_truncate ~ts:(t.v.env.Scm.Env.now ())
     ~arg:words
 
@@ -210,9 +290,11 @@ let attach v ~base =
   let cap, rotate = unpack_cap (Pmem.load v (base + 8)) in
   if cap < 4 then failwith "Rawl.attach: no log at this address";
   let head_off, head_parity, head_tpos = unpack_head (Pmem.load v base) in
+  let append_ctr, trunc_ctr = mk_counters v in
   let t =
     { v; base; cap; rotate; passes = 0; head_off; head_parity; head_tpos;
-      tail_off = head_off; tail_parity = head_parity; tail_tpos = head_tpos }
+      tail_off = head_off; tail_parity = head_parity; tail_tpos = head_tpos;
+      append_ctr; trunc_ctr; scratch = Bytes.make 512 '\000' }
   in
   (* Scan forward from the head "until it reaches the end of the log,
      where the torn bit reverses, or until it finds a log word with an

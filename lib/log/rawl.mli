@@ -69,6 +69,20 @@ val append : t -> int64 array -> append_result
     asynchronous truncation daemon) and retries.  The returned span is
     what {!advance_head} takes to consume this record. *)
 
+val append_sub : t -> int64 array -> len:int -> append_result
+(** [append_sub t buf ~len] appends the first [len] words of [buf]:
+    {!append} over a prefix, letting commit paths reuse one
+    preallocated encode buffer instead of sizing an array per record.
+    Simulated-time charges are identical to [append] on an array of
+    exactly [len] words. *)
+
+val append_bytes : t -> Bytes.t -> len:int -> append_result
+(** [append_bytes t buf ~len] appends [len] words staged as raw
+    little-endian bytes in [buf] (at least [8 * len] bytes): the
+    boxing-free variant of {!append_sub} for commit paths that encode
+    records into a [Bytes] buffer.  Identical stored-word sequence and
+    simulated-time charges as {!append} on the same [len] words. *)
+
 val flush : t -> unit
 (** [log_flush]: one fence; all prior appends are durable after this. *)
 

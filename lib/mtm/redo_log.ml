@@ -28,3 +28,20 @@ let decode arr =
         }
 
 let span_words ~nwrites = Pmlog.Bitstream.stored_words_for (2 + (2 * nwrites))
+let encoded_words ~nwrites = 2 + (2 * nwrites)
+
+(* Allocation-free encode for the commit path: the caller owns a
+   reusable buffer of at least [encoded_words ~nwrites] words, writes
+   the header with this, then lays each (addr, value) pair out at
+   offsets [2 + 2i] / [3 + 2i] — the same layout [encode] produces and
+   [decode] parses. *)
+let encode_header buf ~ts ~nwrites =
+  buf.(0) <- Int64.of_int ts;
+  buf.(1) <- Int64.of_int nwrites
+
+(* The same layout staged as raw little-endian bytes (word [i] at byte
+   [8i]), for {!Pmlog.Rawl.append_bytes}: header here, each (addr,
+   value) pair at bytes [8 * (2 + 2i)] / [8 * (3 + 2i)]. *)
+let encode_header_bytes buf ~ts ~nwrites =
+  Bytes.set_int64_le buf 0 (Int64.of_int ts);
+  Bytes.set_int64_le buf 8 (Int64.of_int nwrites)

@@ -17,3 +17,18 @@ val decode : int64 array -> record option
 val span_words : nwrites:int -> int
 (** Stored-word span of a record with that many writes (what the
     asynchronous truncation daemon advances the head by). *)
+
+val encoded_words : nwrites:int -> int
+(** Payload length in words of a record with that many writes. *)
+
+val encode_header : int64 array -> ts:int -> nwrites:int -> unit
+(** Allocation-free encode into a caller-owned buffer of at least
+    {!encoded_words} words: writes the record header; the caller lays
+    out (address, value) pairs at offsets [2 + 2i] / [3 + 2i] — the
+    layout {!encode} produces and {!decode} parses. *)
+
+val encode_header_bytes : Bytes.t -> ts:int -> nwrites:int -> unit
+(** {!encode_header} into a raw little-endian byte staging buffer
+    (word [i] at byte [8i], pairs at bytes [8 * (2 + 2i)] /
+    [8 * (3 + 2i)]) for {!Pmlog.Rawl.append_bytes}: encoding this way
+    never materializes a boxed [Int64] per word. *)

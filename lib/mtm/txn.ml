@@ -26,7 +26,10 @@ exception Contention
 exception Cancelled
 exception Abort_internal
 
-type pending = { span : int; writes : (int * int64) list }
+(* A commit whose log span is awaiting asynchronous truncation; the
+   daemon only needs the record's span and its write addresses (sorted
+   ascending) to flush lines and advance the head. *)
+type pending = { span : int; addrs : int array }
 
 type pool = {
   pmem : Region.Pmem.t;
@@ -61,16 +64,27 @@ type thread = {
   pending_q : pending Queue.t;
   rng : Random.State.t;
   mutable current : txn option;
+  (* Reusable per-thread transaction state: one transaction runs at a
+     time per thread (flat nesting), so every attempt recycles these
+     tables and scratch buffers instead of allocating.  The steady-state
+     commit path touches only preallocated arrays. *)
+  t_wset : Wset.t;  (* redo: buffered new values *)
+  t_old_vals : Wset.t;  (* undo: first-write old values, insert order *)
+  mutable wlocks : int array;  (* acquired lock indices *)
+  mutable nwlocks : int;
+  mutable rset_idx : int array;  (* read-set lock indices... *)
+  mutable rset_ver : int array;  (* ...and the versions read *)
+  mutable nrset : int;
+  mutable sorted : int array;  (* scratch: write addresses, sorted *)
+  mutable enc_buf : Bytes.t;  (* scratch: redo-record encoding, raw LE bytes *)
+  undo_buf : int64 array;  (* scratch: one [addr, old] undo record *)
 }
 
 and txn = {
   th : thread;
   mutable rv : int;
-  wset : (int, int64) Hashtbl.t;  (* redo: buffered new values *)
-  old_vals : (int, int64) Hashtbl.t;  (* undo: first-write old values *)
-  mutable undo_list : (int * int64) list;  (* undo records, newest first *)
-  mutable wlocks : int list;
-  mutable rset : (int * int) list;
+  wset : Wset.t;  (* == th.t_wset, cleared by fresh_txn *)
+  old_vals : Wset.t;  (* == th.t_old_vals *)
   mutable resvs : Pmheap.Hoard.reservation list;
   mutable freed_small : int list;
   mutable large_allocs : int list;
@@ -254,7 +268,51 @@ let thread pool i env =
     pending_q = Queue.create ();
     rng = Random.State.make [| 0x7a11; i |];
     current = None;
+    t_wset = Wset.create ();
+    t_old_vals = Wset.create ();
+    wlocks = Array.make 64 0;
+    nwlocks = 0;
+    rset_idx = Array.make 64 0;
+    rset_ver = Array.make 64 0;
+    nrset = 0;
+    sorted = Array.make 64 0;
+    enc_buf = Bytes.create (160 * 8);
+    undo_buf = Array.make 2 0L;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Scratch-buffer management (amortized: grow once, reuse forever)     *)
+
+let push_wlock th idx =
+  if th.nwlocks = Array.length th.wlocks then
+    th.wlocks <- Array.append th.wlocks (Array.make (Array.length th.wlocks) 0);
+  th.wlocks.(th.nwlocks) <- idx;
+  th.nwlocks <- th.nwlocks + 1
+
+let push_read th idx ver =
+  if th.nrset = Array.length th.rset_idx then begin
+    let n = Array.length th.rset_idx in
+    th.rset_idx <- Array.append th.rset_idx (Array.make n 0);
+    th.rset_ver <- Array.append th.rset_ver (Array.make n 0)
+  end;
+  th.rset_idx.(th.nrset) <- idx;
+  th.rset_ver.(th.nrset) <- ver;
+  th.nrset <- th.nrset + 1
+
+let ensure_sorted th n =
+  if Array.length th.sorted < n then th.sorted <- Array.make (2 * n) 0;
+  th.sorted
+
+let ensure_enc th n =
+  if Bytes.length th.enc_buf < 8 * n then th.enc_buf <- Bytes.create (16 * n);
+  th.enc_buf
+
+(* Write addresses of [ws], sorted ascending, in [th.sorted]; returns
+   the count. *)
+let sorted_addrs_of th ws =
+  let n = Wset.blit_keys ws (ensure_sorted th (Wset.size ws)) in
+  Wset.sort_prefix th.sorted ~len:n;
+  n
 
 (* ------------------------------------------------------------------ *)
 (* Transactional accesses                                              *)
@@ -263,14 +321,19 @@ let latency (tx : txn) = tx.th.view.Pmem.env.machine.latency
 let delay (tx : txn) ns = tx.th.view.Pmem.env.delay ns
 
 let validate tx =
-  let locks = tx.th.pool.locks in
-  List.for_all
-    (fun (idx, v) ->
-      Lock_table.version locks idx = v
-      &&
-      let o = Lock_table.owner locks idx in
-      o = -1 || o = tx.th.id)
-    tx.rset
+  let th = tx.th in
+  let locks = th.pool.locks in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < th.nrset do
+    let idx = th.rset_idx.(!i) in
+    (if Lock_table.version locks idx <> th.rset_ver.(!i) then ok := false
+     else
+       let o = Lock_table.owner locks idx in
+       if o <> -1 && o <> th.id then ok := false);
+    incr i
+  done;
+  !ok
 
 let extend tx =
   if validate tx then tx.rv <- Timestamp.now tx.th.pool.ts
@@ -278,33 +341,37 @@ let extend tx =
 
 let load tx addr =
   delay tx (latency tx).stm_access_ns;
-  match Hashtbl.find_opt tx.wset addr with
-  | Some v -> v
-  | None ->
-      let locks = tx.th.pool.locks in
-      let idx = Lock_table.index_of locks addr in
-      let o = Lock_table.owner locks idx in
-      if o = tx.th.id then Pmem.load tx.th.view addr
-      else if o <> -1 then raise Abort_internal
-      else begin
-        let v1 = Lock_table.version locks idx in
-        let value = Pmem.load tx.th.view addr in
-        (* The load yields in the simulator; re-check for a racing
-           commit before trusting the value. *)
-        if Lock_table.owner locks idx <> -1
-           || Lock_table.version locks idx <> v1
-        then raise Abort_internal;
-        if v1 > tx.rv then extend tx;
-        tx.rset <- (idx, v1) :: tx.rset;
-        value
-      end
+  let slot = Wset.find_slot tx.wset addr in
+  if slot >= 0 then Wset.value_at tx.wset slot
+  else begin
+    let locks = tx.th.pool.locks in
+    let idx = Lock_table.index_of locks addr in
+    let o = Lock_table.owner locks idx in
+    if o = tx.th.id then Pmem.load tx.th.view addr
+    else if o <> -1 then raise Abort_internal
+    else begin
+      let v1 = Lock_table.version locks idx in
+      let value = Pmem.load tx.th.view addr in
+      (* The load yields in the simulator; re-check for a racing
+         commit before trusting the value. *)
+      if Lock_table.owner locks idx <> -1
+         || Lock_table.version locks idx <> v1
+      then raise Abort_internal;
+      if v1 > tx.rv then extend tx;
+      push_read tx.th idx v1;
+      value
+    end
+  end
 
 (* Stream one undo record ([addr, old value]) and fence: with eager
    version management "undo logging would require ordering a log write
    before every memory update" (paper section 5) — this fence is that
    ordering, and the cost the redo design avoids. *)
 let log_undo tx addr old =
-  (match Pmlog.Rawl.append tx.th.log [| Int64.of_int addr; old |] with
+  let buf = tx.th.undo_buf in
+  buf.(0) <- Int64.of_int addr;
+  buf.(1) <- old;
+  (match Pmlog.Rawl.append_sub tx.th.log buf ~len:2 with
   | Pmlog.Rawl.Appended _ -> ()
   | Pmlog.Rawl.Full -> failwith "Txn: undo log full (transaction too large)");
   Pmlog.Rawl.flush tx.th.log
@@ -322,15 +389,14 @@ let store tx addr v =
     if Lock_table.version locks idx > tx.rv then extend tx;
     if not (Lock_table.try_acquire locks idx ~owner:tx.th.id) then
       raise Abort_internal;
-    tx.wlocks <- idx :: tx.wlocks
+    push_wlock tx.th idx
   end;
   match tx.th.pool.cfg.version_mgmt with
-  | Lazy_redo -> Hashtbl.replace tx.wset addr v
+  | Lazy_redo -> Wset.set tx.wset addr v
   | Eager_undo ->
-      if not (Hashtbl.mem tx.old_vals addr) then begin
+      if not (Wset.mem tx.old_vals addr) then begin
         let old = Pmem.load tx.th.view addr in
-        Hashtbl.add tx.old_vals addr old;
-        tx.undo_list <- (addr, old) :: tx.undo_list;
+        Wset.set tx.old_vals addr old;
         log_undo tx addr old
       end;
       (* eager: the new value goes straight to memory; isolation holds
@@ -424,12 +490,20 @@ let free tx ~slot =
 (* ------------------------------------------------------------------ *)
 (* Truncation                                                          *)
 
-let flush_writes view writes =
-  let lines =
-    List.sort_uniq compare
-      (List.map (fun (a, _) -> a land lnot 63) writes)
-  in
-  List.iter (fun line -> Pmem.flush view line) lines;
+(* Flush each distinct cache line touched by [addrs.(0 .. n-1)] (which
+   must be sorted ascending) exactly once, ascending — duplicates are
+   adjacent after the sort, so dedup is one comparison per address
+   instead of a [sort_uniq] over freshly consed line lists — then
+   fence. *)
+let flush_sorted_lines view (addrs : int array) n =
+  let last = ref (-1) in
+  for i = 0 to n - 1 do
+    let line = addrs.(i) land lnot 63 in
+    if line <> !last then begin
+      Pmem.flush view line;
+      last := line
+    end
+  done;
   Pmem.fence view
 
 let pending_truncations th = Queue.length th.pending_q
@@ -439,8 +513,8 @@ let pending_truncations th = Queue.length th.pending_q
    cached) to learn which addresses to flush.  That read traffic is the
    dominant per-record cost for large transactions and is what makes
    asynchronous truncation lose under low idle time (paper figure 6). *)
-let charge_log_read (dview : Pmem.view) writes =
-  let words = 2 + (2 * List.length writes) in
+let charge_log_read (dview : Pmem.view) ~nwrites =
+  let words = 2 + (2 * nwrites) in
   (* sequential scan: prefetching roughly halves the per-word miss *)
   dview.Pmem.env.delay
     (words * dview.Pmem.env.machine.latency.dram_read_ns / 2)
@@ -448,9 +522,9 @@ let charge_log_read (dview : Pmem.view) writes =
 let process_one_truncation th dview =
   match Queue.take_opt th.pending_q with
   | None -> false
-  | Some { span; writes } ->
-      charge_log_read dview writes;
-      flush_writes dview writes;
+  | Some { span; addrs } ->
+      charge_log_read dview ~nwrites:(Array.length addrs);
+      flush_sorted_lines dview addrs (Array.length addrs);
       Pmlog.Rawl.advance_head th.log ~words:span;
       true
 
@@ -463,9 +537,9 @@ let process_truncations th dview =
 
 let drain_truncations_blocking th =
   while not (Queue.is_empty th.pending_q) do
-    let { span; writes } = Queue.pop th.pending_q in
-    charge_log_read th.view writes;
-    flush_writes th.view writes;
+    let { span; addrs } = Queue.pop th.pending_q in
+    charge_log_read th.view ~nwrites:(Array.length addrs);
+    flush_sorted_lines th.view addrs (Array.length addrs);
     Pmlog.Rawl.advance_head th.log ~words:span
   done
 
@@ -473,22 +547,27 @@ let drain_truncations_blocking th =
 (* Commit / abort                                                      *)
 
 let release_locks tx ~committed ~version =
-  let locks = tx.th.pool.locks in
-  List.iter
-    (fun idx ->
-      if committed then Lock_table.release_versioned locks idx ~version
-      else Lock_table.release locks idx)
-    tx.wlocks;
-  tx.wlocks <- []
+  let th = tx.th in
+  let locks = th.pool.locks in
+  for i = 0 to th.nwlocks - 1 do
+    let idx = th.wlocks.(i) in
+    if committed then Lock_table.release_versioned locks idx ~version
+    else Lock_table.release locks idx
+  done;
+  th.nwlocks <- 0
 
 let rollback tx =
-  (if tx.th.pool.cfg.version_mgmt = Eager_undo && tx.undo_list <> [] then begin
+  (if tx.th.pool.cfg.version_mgmt = Eager_undo && Wset.size tx.old_vals > 0
+   then begin
      (* restore the old values, newest write first, durably, then drop
         the undo records *)
-     List.iter
-       (fun (addr, old) -> Pmem.store tx.th.view addr old)
-       tx.undo_list;
-     flush_writes tx.th.view tx.undo_list;
+     let n = Wset.size tx.old_vals in
+     for i = n - 1 downto 0 do
+       let addr = Wset.key tx.old_vals i in
+       Pmem.store tx.th.view addr (Wset.get tx.old_vals addr)
+     done;
+     let ns = sorted_addrs_of tx.th tx.old_vals in
+     flush_sorted_lines tx.th.view tx.th.sorted ns;
      Pmlog.Rawl.truncate_all tx.th.log
    end);
   release_locks tx ~committed:false ~version:0;
@@ -499,13 +578,27 @@ let rollback tx =
   | None -> ());
   tx.th.pool.aborts <- tx.th.pool.aborts + 1
 
-let append_record tx record =
+(* A record that still does not fit after truncation can never fit:
+   say how far over the structural limit it is, so the failure points
+   at the fix (shrink the transaction or raise [log_cap_words]). *)
+let record_capacity_msg tx ~context ~len =
+  let log = tx.th.log in
+  Printf.sprintf
+    "Txn: %s: record of %d words exceeds what a log of %d words can \
+     hold (max record: %d words; see Rawl.max_record_words_for)"
+    context len
+    (Pmlog.Rawl.capacity log)
+    (Pmlog.Rawl.max_record_words log)
+
+let append_record tx buf ~len =
   let rec try_append retried =
-    match Pmlog.Rawl.append tx.th.log record with
+    match Pmlog.Rawl.append_bytes tx.th.log buf ~len with
     | Pmlog.Rawl.Appended span -> span
     | Pmlog.Rawl.Full ->
         if Queue.is_empty tx.th.pending_q then
-          failwith "Txn: transaction record larger than the log"
+          failwith
+            (record_capacity_msg tx ~context:"transaction record larger \
+                                              than the log" ~len)
         else begin
           (* "If the log manager thread is unable to execute, program
              threads may stall until there is free log space." *)
@@ -518,7 +611,9 @@ let append_record tx record =
             ~dur:(env.Scm.Env.now () - t0)
             ~arg:(Queue.length tx.th.pending_q);
           if retried > 1 then
-            failwith "Txn: log full and nothing left to truncate";
+            failwith
+              (record_capacity_msg tx
+                 ~context:"log full and nothing left to truncate" ~len);
           try_append (retried + 1)
         end
   in
@@ -539,41 +634,54 @@ let finalize_heap_effects tx =
 let commit_redo tx =
   let th = tx.th in
   let pool = th.pool in
-  let now () = th.view.Pmem.env.Scm.Env.now () in
-  let cts = Timestamp.next pool.ts th.view.Pmem.env in
-  let writes =
-    Hashtbl.fold (fun a v acc -> (a, v) :: acc) tx.wset []
-    |> List.sort compare
-  in
-  let record = Redo_log.encode ~ts:cts writes in
-  let t0 = now () in
-  let span = append_record tx record in
-  let t1 = now () in
+  let env = th.view.Pmem.env in
+  let cts = Timestamp.next pool.ts env in
+  (* Ascending-address write order, encoded into the thread's reusable
+     buffer: no per-commit lists, arrays, or boxed values. *)
+  let n = sorted_addrs_of th tx.wset in
+  let len = Redo_log.encoded_words ~nwrites:n in
+  let enc = ensure_enc th len in
+  Redo_log.encode_header_bytes enc ~ts:cts ~nwrites:n;
+  for i = 0 to n - 1 do
+    let addr = th.sorted.(i) in
+    let slot = Wset.find_slot tx.wset addr in
+    Bytes.set_int64_le enc (8 * ((2 * i) + 2)) (Int64.of_int addr);
+    Wset.blit_value tx.wset slot enc (8 * ((2 * i) + 3))
+  done;
+  let t0 = env.Scm.Env.now () in
+  let span = append_record tx enc ~len in
+  let t1 = env.Scm.Env.now () in
   Pmlog.Rawl.flush th.log;  (* the durability point: one fence *)
-  let t2 = now () in
-  List.iter (fun (a, v) -> Pmem.store th.view a v) writes;
+  let t2 = env.Scm.Env.now () in
+  for i = 0 to n - 1 do
+    (* the ascending write-back reads each value back out of the staged
+       record, so the write set is probed once per write, not twice *)
+    Pmem.store th.view th.sorted.(i)
+      (Bytes.get_int64_le enc (8 * ((2 * i) + 3)))
+  done;
   (match pool.cfg.truncation with
   | Sync ->
-      flush_writes th.view writes;
+      flush_sorted_lines th.view th.sorted n;
       Pmlog.Rawl.truncate_all th.log
-  | Async -> Queue.push { span; writes } th.pending_q);
-  let t3 = now () in
+  | Async -> Queue.push { span; addrs = Array.sub th.sorted 0 n } th.pending_q);
+  let t3 = env.Scm.Env.now () in
   release_locks tx ~committed:true ~version:cts;
   (t1 - t0, t2 - t1, t3 - t2)
 
 let commit_undo tx =
   let th = tx.th in
   let pool = th.pool in
-  let now () = th.view.Pmem.env.Scm.Env.now () in
-  let cts = Timestamp.next pool.ts th.view.Pmem.env in
+  let env = th.view.Pmem.env in
+  let cts = Timestamp.next pool.ts env in
   (* new values are already in place; make them durable, then the
      atomic log truncation is the commit point.  The per-store log
      appends were charged eagerly in {!store}, so log_write is 0. *)
-  let t0 = now () in
-  flush_writes th.view tx.undo_list;
-  let t1 = now () in
+  let t0 = env.Scm.Env.now () in
+  let n = sorted_addrs_of th tx.old_vals in
+  flush_sorted_lines th.view th.sorted n;
+  let t1 = env.Scm.Env.now () in
   Pmlog.Rawl.truncate_all th.log;
-  let t2 = now () in
+  let t2 = env.Scm.Env.now () in
   release_locks tx ~committed:true ~version:cts;
   (0, t2 - t1, t1 - t0)
 
@@ -584,8 +692,8 @@ let commit tx =
   delay tx (latency tx).txn_commit_ns;
   let read_only =
     match pool.cfg.version_mgmt with
-    | Lazy_redo -> Hashtbl.length tx.wset = 0
-    | Eager_undo -> Hashtbl.length tx.old_vals = 0
+    | Lazy_redo -> Wset.size tx.wset = 0
+    | Eager_undo -> Wset.size tx.old_vals = 0
   in
   if read_only then begin
     pool.ro_commits <- pool.ro_commits + 1;
@@ -595,8 +703,8 @@ let commit tx =
   else begin
     let ws_size =
       match pool.cfg.version_mgmt with
-      | Lazy_redo -> Hashtbl.length tx.wset
-      | Eager_undo -> Hashtbl.length tx.old_vals
+      | Lazy_redo -> Wset.size tx.wset
+      | Eager_undo -> Wset.size tx.old_vals
     in
     let lw, fe, wb =
       match pool.cfg.version_mgmt with
@@ -615,15 +723,18 @@ let commit tx =
     true
   end
 
+(* Recycle the thread's tables: after [clear] the attempt starts from
+   empty state without having allocated anything but this record. *)
 let fresh_txn th =
+  Wset.clear th.t_wset;
+  Wset.clear th.t_old_vals;
+  th.nwlocks <- 0;
+  th.nrset <- 0;
   {
     th;
     rv = Timestamp.now th.pool.ts;
-    wset = Hashtbl.create 32;
-    old_vals = Hashtbl.create 32;
-    undo_list = [];
-    wlocks = [];
-    rset = [];
+    wset = th.t_wset;
+    old_vals = th.t_old_vals;
     resvs = [];
     freed_small = [];
     large_allocs = [];

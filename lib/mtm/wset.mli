@@ -1,0 +1,52 @@
+(** Reusable open-addressed int-keyed write-set for the commit hot
+    path.
+
+    An [addr -> int64] map whose steady state allocates nothing: keys
+    in a linear-probing [int array], values unboxed in a [Bytes]
+    buffer, insertion order in a dense array.  {!clear} recycles the
+    tables in place, so one write-set per thread serves every
+    transaction attempt.  Keys must be non-negative (persistent
+    addresses are). *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+val size : t -> int
+(** Number of distinct keys. *)
+
+val clear : t -> unit
+(** Empty the map, keeping its tables for reuse (no allocation). *)
+
+val mem : t -> int -> bool
+
+val set : t -> int -> int64 -> unit
+(** Insert or overwrite. *)
+
+val find_slot : t -> int -> int
+(** Internal slot of a key, or [-1] when absent.  Splitting lookup
+    into [find_slot] + {!value_at} lets callers test membership and
+    read the value without allocating an [option] or a boxed
+    [Int64]. *)
+
+val value_at : t -> int -> int64
+(** Value in a slot returned by {!find_slot} (which must be [>= 0]). *)
+
+val blit_value : t -> int -> Bytes.t -> int -> unit
+(** [blit_value t slot dst off] copies the 8-byte value in [slot]
+    into [dst] at [off] without materializing a boxed [Int64]. *)
+
+val get : t -> int -> int64
+(** Value of a present key (unchecked: the key must be present). *)
+
+val key : t -> int -> int
+(** [key t i] is the [i]-th distinct key in insertion order,
+    [0 <= i < size t]. *)
+
+val blit_keys : t -> int array -> int
+(** Copy all keys, insertion-ordered, into a caller buffer of length
+    [>= size t]; returns the count. *)
+
+val sort_prefix : int array -> len:int -> unit
+(** In-place ascending sort of the first [len] elements with
+    monomorphic int comparisons (commit write-ordering and line-flush
+    dedup use this instead of polymorphic [compare]). *)

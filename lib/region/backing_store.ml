@@ -5,6 +5,12 @@ type t = {
   mutable next_inode : int;
 }
 
+(* Monotone count of mutating operations across every store.  Lets the
+   crash-point explorer prove a scratch directory was left untouched by
+   a run and skip re-seeding it from the setup copy. *)
+let mutations = ref 0
+let global_mutations () = !mutations
+
 let index_path t = Filename.concat t.dir "index"
 
 let file_path t inode = Filename.concat t.dir (Printf.sprintf "f%06d" inode)
@@ -49,6 +55,7 @@ let dir t = t.dir
 let page_io_ns t = t.page_io_ns
 
 let create_file t ?name () =
+  incr mutations;
   let inode = t.next_inode in
   t.next_inode <- inode + 1;
   let oc = open_out_bin (file_path t inode) in
@@ -60,6 +67,7 @@ let create_file t ?name () =
 let find t name = Hashtbl.find_opt t.names name
 
 let delete_file t inode =
+  incr mutations;
   let p = file_path t inode in
   if Sys.file_exists p then Sys.remove p;
   let stale =
@@ -99,6 +107,7 @@ let read_page t inode page_off buf =
   end
 
 let write_page t inode page_off buf =
+  incr mutations;
   let p = file_path t inode in
   let fd = Unix.openfile p [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
   Fun.protect
@@ -114,4 +123,6 @@ let write_page t inode page_off buf =
       in
       write_all 0 (Bytes.length buf))
 
-let sync t = save_index t
+let sync t =
+  incr mutations;
+  save_index t

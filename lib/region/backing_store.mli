@@ -41,3 +41,10 @@ val write_page : t -> int -> int -> Bytes.t -> unit
 
 val sync : t -> unit
 (** Flush the index; file data is written through. *)
+
+val global_mutations : unit -> int
+(** Monotone count of mutating operations ({!create_file},
+    {!delete_file}, {!write_page}, {!sync}) across {e all} stores in the
+    process.  The crash-point explorer reads it before and after a run
+    to prove its scratch directory was left untouched — and, if so,
+    skips re-seeding the directory from the pristine setup copy. *)

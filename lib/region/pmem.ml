@@ -9,7 +9,13 @@ type t = {
   backing : Backing_store.t;
   mutable regions : region list;  (* sorted by base, ascending *)
   by_inode : (int, region) Hashtbl.t;
-  vpage_cache : (int, int) Hashtbl.t;  (* vpage -> frame *)
+  vpage_cache : Scm.Imap.Int.t;  (* vpage -> frame *)
+  (* one-entry memo in front of [vpage_cache]: consecutive accesses
+     overwhelmingly hit the same page, and a field compare beats even
+     one table probe.  Must be dropped wherever a vpage_cache entry is
+     removed. *)
+  mutable memo_vpage : int;
+  mutable memo_frame : int;
   mutable peek_page : (int * int * Bytes.t) option;
       (* (inode, page_off, contents): one-page memo for {!load_nt} reads
          of non-resident pages.  Stale the moment the page regains and
@@ -38,10 +44,11 @@ let register t r =
 let unregister t r =
   t.regions <- List.filter (fun r' -> r'.base <> r.base) t.regions;
   Hashtbl.remove t.by_inode r.inode;
+  t.memo_vpage <- -1;
   let first = Layout.page_of r.base in
   let last = Layout.page_of (r.base + r.len - 1) in
   for vpage = first to last do
-    Hashtbl.remove t.vpage_cache vpage
+    Scm.Imap.Int.remove t.vpage_cache vpage
   done
 
 let find_region t addr =
@@ -76,14 +83,23 @@ let translate v addr =
     invalid_arg (Printf.sprintf "Pmem: %#x is not a persistent address" addr);
   let vpage = Layout.page_of addr in
   let frame =
-    match Hashtbl.find_opt t.vpage_cache vpage with
-    | Some frame -> frame
-    | None ->
-        let r = find_region t addr in
-        let page_off = vpage - Layout.page_of r.base in
-        let frame = Manager.fault_in t.mgr v.env ~inode:r.inode ~page_off in
-        Hashtbl.replace t.vpage_cache vpage frame;
-        frame
+    if vpage = t.memo_vpage then t.memo_frame
+    else begin
+      let frame = Scm.Imap.Int.find t.vpage_cache vpage in
+      let frame =
+        if frame >= 0 then frame
+        else begin
+          let r = find_region t addr in
+          let page_off = vpage - Layout.page_of r.base in
+          let frame = Manager.fault_in t.mgr v.env ~inode:r.inode ~page_off in
+          Scm.Imap.Int.set t.vpage_cache vpage frame;
+          frame
+        end
+      in
+      t.memo_vpage <- vpage;
+      t.memo_frame <- frame;
+      frame
+    end
   in
   (frame * Layout.page_size) + (addr land (Layout.page_size - 1))
 
@@ -104,7 +120,7 @@ let load_nt v addr =
   let page_off = vpage - Layout.page_of r.base in
   match Manager.frame_of t.mgr ~inode:r.inode ~page_off with
   | Some frame ->
-      Hashtbl.replace t.vpage_cache vpage frame;
+      Scm.Imap.Int.set t.vpage_cache vpage frame;
       P.load_nt v.env
         ((frame * Layout.page_size) + (addr land (Layout.page_size - 1)))
   | None ->
@@ -224,7 +240,9 @@ let open_instance machine backing =
       backing;
       regions = [];
       by_inode = Hashtbl.create 16;
-      vpage_cache = Hashtbl.create 1024;
+      vpage_cache = Scm.Imap.Int.create ~initial:1024 ();
+      memo_vpage = -1;
+      memo_frame = 0;
       peek_page = None;
       next_dyn = Layout.dynamic_base;
       default_env;
@@ -238,7 +256,9 @@ let open_instance machine backing =
       match Hashtbl.find_opt t.by_inode inode with
       | None -> ()
       | Some r ->
-          Hashtbl.remove t.vpage_cache (Layout.page_of r.base + page_off));
+          let vpage = Layout.page_of r.base + page_off in
+          if vpage = t.memo_vpage then t.memo_vpage <- -1;
+          Scm.Imap.Int.remove t.vpage_cache vpage);
   register t
     {
       base = Layout.static_base;

@@ -1,21 +1,40 @@
-type line = { data : Bytes.t; mutable dirty : bool }
+(* Array-backed, open-addressed cache: the per-word load/store fast
+   path is a handful of array reads with zero allocation.  Lines live
+   in a linear-probing table (power-of-two size >= 2x capacity, so the
+   load factor stays under 1/2) whose entries own preallocated
+   [line_size] buffers; deletion is backward-shift, so there are no
+   tombstones and probes stay short.
+
+   Eviction semantics are pinned: the victim is drawn uniformly from a
+   dense insertion-ordered array of resident line addresses
+   ([members], maintained by append + swap-remove exactly as the
+   original Hashtbl-based cache did), and the rng is consumed ONLY for
+   that draw.  Crash-point indices and eviction sequences are
+   therefore bit-identical to the previous implementation — the
+   cache-eviction determinism test in test_scm.ml checks the sequence
+   against a reference model. *)
 
 type t = {
   dev : Scm_device.t;
   line_size : int;
   capacity : int;
-  lines : (int, line) Hashtbl.t;
+  mask : int;  (* table size - 1; table size is a power of two *)
+  keys : int array;  (* line base address, or -1 for an empty slot *)
+  data : Bytes.t array;  (* preallocated line buffers, one per slot *)
+  dirty : bool array;
+  mslot : int array;  (* index of this entry's base in [members] *)
   rng : Random.State.t;
   obs : Obs.t;
   cp : Crashpoint.t;
   evict_ctr : Obs.Metrics.counter;
   mutable evictions : int;
   (* Dense array of resident line addresses for O(1) random victim
-     selection; [index] maps line address to its slot in [members]. *)
-  mutable members : int array;
+     selection; insertion-ordered, removal swaps the last entry in. *)
+  members : int array;
   mutable nmembers : int;
-  index : (int, int) Hashtbl.t;
 }
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
 
 let create ?(line_size = 64) ?(capacity_lines = 8192) ?(seed = 0xcafe) ?obs
     ?cp dev =
@@ -23,11 +42,16 @@ let create ?(line_size = 64) ?(capacity_lines = 8192) ?(seed = 0xcafe) ?obs
     invalid_arg "Cache.create: line_size";
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let cp = match cp with Some c -> c | None -> Crashpoint.create () in
+  let size = next_pow2 (2 * max 8 capacity_lines) 16 in
   {
     dev;
     line_size;
     capacity = capacity_lines;
-    lines = Hashtbl.create (2 * capacity_lines);
+    mask = size - 1;
+    keys = Array.make size (-1);
+    data = Array.init size (fun _ -> Bytes.create line_size);
+    dirty = Array.make size false;
+    mslot = Array.make size 0;
     rng = Random.State.make [| seed |];
     obs;
     cp;
@@ -35,70 +59,116 @@ let create ?(line_size = 64) ?(capacity_lines = 8192) ?(seed = 0xcafe) ?obs
     evictions = 0;
     members = Array.make (max 16 capacity_lines) (-1);
     nmembers = 0;
-    index = Hashtbl.create (2 * capacity_lines);
   }
 
 let line_size t = t.line_size
 let line_base t addr = addr - (addr mod t.line_size)
 
-let member_add t base =
-  if t.nmembers = Array.length t.members then begin
-    let bigger = Array.make (2 * t.nmembers) (-1) in
-    Array.blit t.members 0 bigger 0 t.nmembers;
-    t.members <- bigger
-  end;
+(* Fibonacci hashing on the line base; any mix works (the table is an
+   implementation detail), it just has to spread consecutive lines. *)
+let[@inline] hash t base = (base * 0x2545F4914F6CDD1D) lsr 1 land t.mask
+
+(* Slot holding [base], or -1 if not resident. *)
+let[@inline] find_slot t base =
+  let keys = t.keys and mask = t.mask in
+  let i = ref (hash t base) in
+  let k = ref keys.(!i) in
+  while !k <> base && !k <> -1 do
+    i := (!i + 1) land mask;
+    k := keys.(!i)
+  done;
+  if !k = base then !i else -1
+
+(* First empty slot on [base]'s probe path (caller knows it's absent). *)
+let[@inline] free_slot t base =
+  let keys = t.keys and mask = t.mask in
+  let i = ref (hash t base) in
+  while keys.(!i) <> -1 do
+    i := (!i + 1) land mask
+  done;
+  !i
+
+let member_add t base slot =
   t.members.(t.nmembers) <- base;
-  Hashtbl.replace t.index base t.nmembers;
+  t.mslot.(slot) <- t.nmembers;
   t.nmembers <- t.nmembers + 1
 
-let member_remove t base =
-  match Hashtbl.find_opt t.index base with
-  | None -> ()
-  | Some slot ->
-      let last = t.nmembers - 1 in
-      let moved = t.members.(last) in
-      t.members.(slot) <- moved;
-      Hashtbl.replace t.index moved slot;
-      t.nmembers <- last;
-      Hashtbl.remove t.index base
+let member_remove t slot =
+  let ms = t.mslot.(slot) in
+  let last = t.nmembers - 1 in
+  let moved = t.members.(last) in
+  t.members.(ms) <- moved;
+  t.nmembers <- last;
+  if ms <> last then begin
+    let moved_slot = find_slot t moved in
+    t.mslot.(moved_slot) <- ms
+  end
 
-let write_back t base line =
+(* Backward-shift deletion: walk the cluster after [slot], moving back
+   any entry whose home position does not lie cyclically inside
+   (hole, entry].  Buffers are swapped, not copied, so every slot keeps
+   owning a spare line buffer. *)
+let table_delete t slot =
+  let mask = t.mask in
+  let hole = ref slot in
+  t.keys.(!hole) <- -1;
+  let j = ref ((slot + 1) land mask) in
+  while t.keys.(!j) <> -1 do
+    let home = hash t t.keys.(!j) in
+    let dist_home = (!j - home) land mask in
+    let dist_hole = (!j - !hole) land mask in
+    if dist_home >= dist_hole then begin
+      t.keys.(!hole) <- t.keys.(!j);
+      t.dirty.(!hole) <- t.dirty.(!j);
+      t.mslot.(!hole) <- t.mslot.(!j);
+      let tmp = t.data.(!hole) in
+      t.data.(!hole) <- t.data.(!j);
+      t.data.(!j) <- tmp;
+      t.keys.(!j) <- -1;
+      t.dirty.(!j) <- false;
+      hole := !j
+    end;
+    j := (!j + 1) land mask
+  done
+
+let write_back t base slot =
   Crashpoint.tick t.cp Crashpoint.Cache_writeback;
-  Scm_device.write_from t.dev base line.data 0 t.line_size;
-  line.dirty <- false
+  Scm_device.write_from t.dev base t.data.(slot) 0 t.line_size;
+  t.dirty.(slot) <- false
 
-let remove_line t base =
-  Hashtbl.remove t.lines base;
-  member_remove t base
+let remove_line t slot =
+  member_remove t slot;
+  table_delete t slot
 
 let evict_one t =
   if t.nmembers > 0 then begin
     let victim = t.members.(Random.State.int t.rng t.nmembers) in
-    (match Hashtbl.find_opt t.lines victim with
-    | Some line when line.dirty -> write_back t victim line
-    | Some _ | None -> ());
-    remove_line t victim;
+    let slot = find_slot t victim in
+    if t.dirty.(slot) then write_back t victim slot;
+    remove_line t slot;
     t.evictions <- t.evictions + 1;
     Obs.Metrics.incr t.evict_ctr;
     Obs.instant t.obs Obs.Trace.Cache_evict ~arg:victim
   end
 
-let get_line t addr =
-  let base = line_base t addr in
-  match Hashtbl.find_opt t.lines base with
-  | Some line -> (base, line)
-  | None ->
-      if Hashtbl.length t.lines >= t.capacity then evict_one t;
-      let data = Bytes.create t.line_size in
-      Scm_device.read_into t.dev base data 0 t.line_size;
-      let line = { data; dirty = false } in
-      Hashtbl.replace t.lines base line;
-      member_add t base;
-      (base, line)
+(* Returns the slot of [addr]'s line, filling it on a miss. *)
+let get_line t base =
+  let slot = find_slot t base in
+  if slot >= 0 then slot
+  else begin
+    if t.nmembers >= t.capacity then evict_one t;
+    let slot = free_slot t base in
+    t.keys.(slot) <- base;
+    t.dirty.(slot) <- false;
+    Scm_device.read_into t.dev base t.data.(slot) 0 t.line_size;
+    member_add t base slot;
+    slot
+  end
 
 let read_word t addr =
-  let base, line = get_line t addr in
-  Word.get line.data (addr - base)
+  let base = line_base t addr in
+  let slot = get_line t base in
+  Word.get t.data.(slot) (addr - base)
 
 (* Coherent read that never allocates a line (an uncached/non-temporal
    load): resident lines answer from the cache, everything else reads
@@ -107,68 +177,87 @@ let read_word t addr =
    rng. *)
 let peek_word t addr =
   let base = line_base t addr in
-  match Hashtbl.find_opt t.lines base with
-  | Some line -> Word.get line.data (addr - base)
-  | None -> Scm_device.load64 t.dev (addr - (addr mod 8))
+  let slot = find_slot t base in
+  if slot >= 0 then Word.get t.data.(slot) (addr - base)
+  else Scm_device.load64 t.dev (addr - (addr mod 8))
 
 let write_word t addr v =
-  let base, line = get_line t addr in
-  Word.set line.data (addr - base) v;
-  line.dirty <- true
+  let base = line_base t addr in
+  let slot = get_line t base in
+  Word.set t.data.(slot) (addr - base) v;
+  t.dirty.(slot) <- true
 
 let rec read_into t addr buf off len =
   if len > 0 then begin
-    let base, line = get_line t addr in
+    let base = line_base t addr in
+    let slot = get_line t base in
     let within = addr - base in
     let n = min len (t.line_size - within) in
-    Bytes.blit line.data within buf off n;
+    Bytes.blit t.data.(slot) within buf off n;
     read_into t (addr + n) buf (off + n) (len - n)
   end
 
 let rec write_from t addr buf off len =
   if len > 0 then begin
-    let base, line = get_line t addr in
+    let base = line_base t addr in
+    let slot = get_line t base in
     let within = addr - base in
     let n = min len (t.line_size - within) in
-    Bytes.blit buf off line.data within n;
-    line.dirty <- true;
+    Bytes.blit buf off t.data.(slot) within n;
+    t.dirty.(slot) <- true;
     write_from t (addr + n) buf (off + n) (len - n)
   end
 
 let flush_line t addr =
   let base = line_base t addr in
-  match Hashtbl.find_opt t.lines base with
-  | None -> false
-  | Some line ->
-      let was_dirty = line.dirty in
-      if was_dirty then write_back t base line;
-      remove_line t base;
-      was_dirty
+  let slot = find_slot t base in
+  if slot < 0 then false
+  else begin
+    let was_dirty = t.dirty.(slot) in
+    if was_dirty then write_back t base slot;
+    remove_line t slot;
+    was_dirty
+  end
 
 let invalidate_line t addr =
   let base = line_base t addr in
-  if Hashtbl.mem t.lines base then remove_line t base
+  let slot = find_slot t base in
+  if slot >= 0 then remove_line t slot
 
 let is_dirty t addr =
-  match Hashtbl.find_opt t.lines (line_base t addr) with
-  | Some line -> line.dirty
-  | None -> false
+  let slot = find_slot t (line_base t addr) in
+  slot >= 0 && t.dirty.(slot)
+
+(* Write-back (if dirty) and invalidate in one probe: the streaming
+   store path runs this per word, and probing once instead of three
+   times (is_dirty / writeback_line / invalidate_line) is visible on
+   the commit microbench.  Semantics and crash-tick sequence are
+   exactly the composition of those three calls. *)
+let wt_invalidate t addr =
+  let base = line_base t addr in
+  let slot = find_slot t base in
+  if slot >= 0 then begin
+    if t.dirty.(slot) then write_back t base slot;
+    remove_line t slot
+  end
 
 let dirty_lines t =
-  Hashtbl.fold (fun base line acc -> if line.dirty then base :: acc else acc)
-    t.lines []
-  |> List.sort compare
+  let acc = ref [] in
+  for m = t.nmembers - 1 downto 0 do
+    let base = t.members.(m) in
+    if t.dirty.(find_slot t base) then acc := base :: !acc
+  done;
+  List.sort (fun (a : int) b -> compare a b) !acc
 
-let resident_lines t = Hashtbl.length t.lines
+let resident_lines t = t.nmembers
 let evictions t = t.evictions
 
 let writeback_line t addr =
   let base = line_base t addr in
-  match Hashtbl.find_opt t.lines base with
-  | Some line when line.dirty -> write_back t base line
-  | Some _ | None -> ()
+  let slot = find_slot t base in
+  if slot >= 0 && t.dirty.(slot) then write_back t base slot
 
 let drop_all t =
-  Hashtbl.reset t.lines;
-  Hashtbl.reset t.index;
+  Array.fill t.keys 0 (Array.length t.keys) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
   t.nmembers <- 0

@@ -59,6 +59,12 @@ val invalidate_line : t -> int -> unit
 (** Drop the line without write-back (used by streaming stores, which
     bypass and invalidate the cache). *)
 
+val wt_invalidate : t -> int -> unit
+(** [wt_invalidate t addr]: write the line containing [addr] back if it
+    is dirty, then drop it — the coherence action of a streaming store,
+    equivalent to [is_dirty]/[writeback_line]/[invalidate_line] composed
+    but probing the table once.  No-op when the line is not resident. *)
+
 val is_dirty : t -> int -> bool
 val dirty_lines : t -> int list
 (** Addresses of all dirty lines, ascending; used by crash injection. *)

@@ -12,15 +12,26 @@ type t = {
   mutable op : int;
   mutable target : int;  (* -1 = disarmed *)
   mutable crashed : bool;
-  mutable last_kind : kind option;
+  (* the last kind is stored unboxed ([has_kind] distinguishes "none
+     yet"): {!tick} runs on every persistence operation and must not
+     allocate an option per call *)
+  mutable last_kind_raw : kind;
+  mutable has_kind : bool;
 }
 
-let create () = { op = 0; target = -1; crashed = false; last_kind = None }
+let create () =
+  {
+    op = 0;
+    target = -1;
+    crashed = false;
+    last_kind_raw = Wt_post;
+    has_kind = false;
+  }
 
 let count t = t.op
 let target t = if t.target < 0 then None else Some t.target
 let crashed t = t.crashed
-let last_kind t = t.last_kind
+let last_kind t = if t.has_kind then Some t.last_kind_raw else None
 
 let arm t ~at =
   if at < 1 then invalid_arg "Crashpoint.arm: op indices start at 1";
@@ -40,7 +51,8 @@ let tick t kind =
     raise (Simulated_crash { op = t.op; kind })
   else begin
     t.op <- t.op + 1;
-    t.last_kind <- Some kind;
+    t.last_kind_raw <- kind;
+    t.has_kind <- true;
     if t.op = t.target then begin
       t.crashed <- true;
       raise (Simulated_crash { op = t.op; kind })

@@ -7,6 +7,12 @@ type machine = {
   crash_point : Crashpoint.t;
   mutable wc_buffers : Wc_buffer.t list;
   mutable media_busy_until : int;
+  flush_ctr : Obs.Metrics.counter;
+  fence_ctr : Obs.Metrics.counter;
+  pcm_occ : int;
+      (* [latency.pcm_write_ns / media_banks], precomputed: the flush
+         path charges it per dirty line and the division is visible
+         there *)
 }
 
 type t = {
@@ -35,6 +41,11 @@ let make_machine ?(latency = Latency_model.default) ?cache_capacity_lines
     crash_point = cp;
     wc_buffers = [];
     media_busy_until = 0;
+    flush_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.flushes";
+    fence_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.fences";
+    pcm_occ =
+      latency.Latency_model.pcm_write_ns
+      / max 1 latency.Latency_model.media_banks;
   }
 
 let machine_of_device ?(latency = Latency_model.default) ?cache_capacity_lines
@@ -55,6 +66,11 @@ let machine_of_device ?(latency = Latency_model.default) ?cache_capacity_lines
     crash_point = cp;
     wc_buffers = [];
     media_busy_until = 0;
+    flush_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.flushes";
+    fence_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.fences";
+    pcm_occ =
+      latency.Latency_model.pcm_write_ns
+      / max 1 latency.Latency_model.media_banks;
   }
 
 let attach_wc machine =

@@ -33,6 +33,14 @@ type machine = {
           writes from different threads serialize here, so a background
           flusher genuinely steals bandwidth from the foreground thread
           (the effect behind paper figure 6's low-idle slowdown). *)
+  flush_ctr : Obs.Metrics.counter;
+      (** [scm.flushes], resolved once at machine creation so the flush
+          path does not look counters up by name per call. *)
+  fence_ctr : Obs.Metrics.counter;  (** [scm.fences], likewise. *)
+  pcm_occ : int;
+      (** [latency.pcm_write_ns / media_banks], precomputed once: the
+          per-dirty-line flush path charges this serialized share on
+          every write-back. *)
 }
 
 type t = {

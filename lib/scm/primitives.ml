@@ -6,11 +6,13 @@ let drain_if_pending (env : Env.t) addr =
 
 let load (env : Env.t) addr =
   env.delay env.machine.latency.cache_hit_ns;
-  match Wc_buffer.lookup env.wc addr with
-  | Some v -> v
-  | None ->
-      drain_if_pending env addr;
-      Cache.read_word env.machine.cache addr
+  if Wc_buffer.is_empty env.wc then Cache.read_word env.machine.cache addr
+  else
+    match Wc_buffer.lookup env.wc addr with
+    | Some v -> v
+    | None ->
+        drain_if_pending env addr;
+        Cache.read_word env.machine.cache addr
 
 (* Non-temporal load: coherent, but never allocates a cache line —
    recovery-time sweeps over whole regions must leave the cache (and
@@ -21,15 +23,17 @@ let load (env : Env.t) addr =
    attaches a log.  No latency is charged per word; the writes such a
    sweep decides to make go through {!wtstore} and pay full price. *)
 let load_nt (env : Env.t) addr =
-  match Wc_buffer.lookup env.wc addr with
-  | Some v -> v
-  | None ->
-      drain_if_pending env addr;
-      Cache.peek_word env.machine.cache addr
+  if Wc_buffer.is_empty env.wc then Cache.peek_word env.machine.cache addr
+  else
+    match Wc_buffer.lookup env.wc addr with
+    | Some v -> v
+    | None ->
+        drain_if_pending env addr;
+        Cache.peek_word env.machine.cache addr
 
 let store (env : Env.t) addr v =
   env.delay env.machine.latency.cache_hit_ns;
-  drain_if_pending env addr;
+  if not (Wc_buffer.is_empty env.wc) then drain_if_pending env addr;
   Cache.write_word env.machine.cache addr v
 
 let wtstore (env : Env.t) addr v =
@@ -37,9 +41,7 @@ let wtstore (env : Env.t) addr v =
   (* movnt bypasses the cache; make sure a dirty cached copy of the line
      does not later overwrite the streamed data, and that subsequent
      cached loads do not see stale data. *)
-  let cache = env.machine.cache in
-  if Cache.is_dirty cache addr then Cache.writeback_line cache addr;
-  Cache.invalidate_line cache addr;
+  Cache.wt_invalidate env.machine.cache addr;
   Wc_buffer.post env.wc addr v
 
 (* PCM media writes pass through the single memory controller: a
@@ -48,23 +50,27 @@ let wtstore (env : Env.t) addr v =
    charged privately.  A single-threaded caller sees exactly the full
    cost; concurrent flushers delay each other by the serialized share —
    the effect behind paper figure 6's low-idle slowdown. *)
-let media_write (env : Env.t) cost_ns =
+let[@inline] media_write_occ (env : Env.t) cost_ns occupancy =
   let m = env.machine in
-  let occupancy = cost_ns / max 1 m.latency.media_banks in
   let now = env.now () in
   let start = max now m.media_busy_until in
   let finish = start + occupancy in
   m.media_busy_until <- finish;
   env.delay (finish - now + (cost_ns - occupancy))
 
+let media_write (env : Env.t) cost_ns =
+  media_write_occ env cost_ns
+    (cost_ns / max 1 env.machine.latency.media_banks)
+
 let flush_impl (env : Env.t) addr =
   let wrote = Cache.flush_line env.machine.cache addr in
-  if wrote then media_write env env.machine.latency.pcm_write_ns
+  if wrote then
+    media_write_occ env env.machine.latency.pcm_write_ns env.machine.pcm_occ
   else env.delay env.machine.latency.cache_hit_ns
 
 let flush (env : Env.t) addr =
   let obs = env.machine.obs in
-  Obs.Metrics.incr (Obs.Metrics.counter obs.Obs.metrics "scm.flushes");
+  Obs.Metrics.incr env.machine.flush_ctr;
   if not (Obs.tracing obs) then flush_impl env addr
   else begin
     let t0 = env.now () in
@@ -82,7 +88,7 @@ let fence_impl (env : Env.t) =
 
 let fence (env : Env.t) =
   let obs = env.machine.obs in
-  Obs.Metrics.incr (Obs.Metrics.counter obs.Obs.metrics "scm.fences");
+  Obs.Metrics.incr env.machine.fence_ctr;
   if not (Obs.tracing obs) then fence_impl env
   else begin
     let t0 = env.now () in

@@ -1,10 +1,41 @@
 type t = {
   arena : Bytes.t;
   frame_size : int;
+  fshift : int;  (* log2 frame_size, or -1 if not a power of two *)
   nframes : int;
   writes : int array;  (* per-frame wear counters *)
   mutable total_writes : int;
+  (* Undo journal (crash-point exploration): when enabled, every
+     mutation records the span's old contents (and which frame's wear
+     counter it bumped) before overwriting, so rolling the device back
+     to a mark costs O(bytes written since), not O(arena).  Entry [i]
+     is [j_addrs.(i), j_lens.(i)] with its old bytes at [j_offs.(i)]
+     in [j_bytes]; [j_frames.(i)] is the bumped frame or -1. *)
+  mutable j_on : bool;
+  mutable j_addrs : int array;
+  mutable j_lens : int array;
+  mutable j_offs : int array;
+  mutable j_frames : int array;
+  mutable j_n : int;
+  mutable j_bytes : Bytes.t;
+  mutable j_blen : int;
 }
+
+type mark = { m_n : int; m_blen : int }
+
+(* Wear accounting runs on every persistent write; for the usual
+   power-of-two frame size the frame index is a shift, not an integer
+   division (the divisor is a runtime value, so the compiler cannot
+   strength-reduce it). *)
+let shift_of frame_size =
+  if frame_size land (frame_size - 1) <> 0 then -1
+  else begin
+    let s = ref 0 in
+    while 1 lsl !s < frame_size do
+      incr s
+    done;
+    !s
+  end
 
 let create ?(frame_size = 4096) ~nframes () =
   if nframes <= 0 then invalid_arg "Scm_device.create: nframes";
@@ -13,9 +44,18 @@ let create ?(frame_size = 4096) ~nframes () =
   {
     arena = Bytes.make (nframes * frame_size) '\000';
     frame_size;
+    fshift = shift_of frame_size;
     nframes;
     writes = Array.make nframes 0;
     total_writes = 0;
+    j_on = false;
+    j_addrs = [||];
+    j_lens = [||];
+    j_offs = [||];
+    j_frames = [||];
+    j_n = 0;
+    j_bytes = Bytes.empty;
+    j_blen = 0;
   }
 
 let frame_size t = t.frame_size
@@ -27,10 +67,67 @@ let check t addr len =
     invalid_arg
       (Printf.sprintf "Scm_device: address %#x+%d out of range" addr len)
 
-let bump t addr =
-  let f = addr / t.frame_size in
+let[@inline] frame_of t addr =
+  if t.fshift >= 0 then addr lsr t.fshift else addr / t.frame_size
+
+let[@inline] bump t addr =
+  let f = frame_of t addr in
   t.writes.(f) <- t.writes.(f) + 1;
   t.total_writes <- t.total_writes + 1
+
+let j_grow_entries t =
+  let cap = max 1024 (2 * Array.length t.j_addrs) in
+  let extend a = Array.append a (Array.make (cap - Array.length a) 0) in
+  t.j_addrs <- extend t.j_addrs;
+  t.j_lens <- extend t.j_lens;
+  t.j_offs <- extend t.j_offs;
+  t.j_frames <- extend t.j_frames
+
+let j_grow_bytes t need =
+  let cap = ref (max 65536 (2 * Bytes.length t.j_bytes)) in
+  while !cap < need do
+    cap := 2 * !cap
+  done;
+  let b = Bytes.create !cap in
+  Bytes.blit t.j_bytes 0 b 0 t.j_blen;
+  t.j_bytes <- b
+
+(* Capture [len] bytes at [addr] (about to be overwritten) plus which
+   frame's wear counter the write will bump, or -1 for none. *)
+let j_record t addr len frame =
+  if t.j_n >= Array.length t.j_addrs then j_grow_entries t;
+  if t.j_blen + len > Bytes.length t.j_bytes then j_grow_bytes t (t.j_blen + len);
+  t.j_addrs.(t.j_n) <- addr;
+  t.j_lens.(t.j_n) <- len;
+  t.j_offs.(t.j_n) <- t.j_blen;
+  t.j_frames.(t.j_n) <- frame;
+  Bytes.blit t.arena addr t.j_bytes t.j_blen len;
+  t.j_n <- t.j_n + 1;
+  t.j_blen <- t.j_blen + len
+
+let journal_start t =
+  t.j_on <- true;
+  t.j_n <- 0;
+  t.j_blen <- 0
+
+let journal_stop t =
+  t.j_on <- false;
+  t.j_n <- 0;
+  t.j_blen <- 0
+
+let journal_mark t = { m_n = t.j_n; m_blen = t.j_blen }
+
+let journal_undo_to t mark =
+  for i = t.j_n - 1 downto mark.m_n do
+    Bytes.blit t.j_bytes t.j_offs.(i) t.arena t.j_addrs.(i) t.j_lens.(i);
+    let f = t.j_frames.(i) in
+    if f >= 0 then begin
+      t.writes.(f) <- t.writes.(f) - 1;
+      t.total_writes <- t.total_writes - 1
+    end
+  done;
+  t.j_n <- mark.m_n;
+  t.j_blen <- mark.m_blen
 
 let load64 t addr =
   check t addr 8;
@@ -42,6 +139,14 @@ let store64 t addr v =
   check t addr 8;
   if not (Word.is_aligned addr) then
     invalid_arg (Printf.sprintf "Scm_device.store64: unaligned %#x" addr);
+  if t.j_on then j_record t addr 8 (frame_of t addr);
+  Word.set t.arena addr v;
+  bump t addr
+
+(* For drain loops over addresses already validated at post time (the
+   write-combining buffer checks alignment and range on entry). *)
+let[@inline] store64_unchecked t addr v =
+  if t.j_on then j_record t addr 8 (frame_of t addr);
   Word.set t.arena addr v;
   bump t addr
 
@@ -55,8 +160,11 @@ let read_into t addr buf off len =
 
 let write_from t addr buf off len =
   check t addr len;
-  Bytes.blit buf off t.arena addr len;
-  if len > 0 then bump t addr
+  if len > 0 then begin
+    if t.j_on then j_record t addr len (frame_of t addr);
+    Bytes.blit buf off t.arena addr len;
+    bump t addr
+  end
 
 let write_count t frame = t.writes.(frame)
 let total_writes t = t.total_writes
@@ -90,7 +198,18 @@ let copy t =
   {
     arena = Bytes.copy t.arena;
     frame_size = t.frame_size;
+    fshift = t.fshift;
     nframes = t.nframes;
     writes = Array.copy t.writes;
     total_writes = t.total_writes;
+    (* The journal is roll-back scaffolding for the source device; a
+       copy starts with a fresh, disabled one. *)
+    j_on = false;
+    j_addrs = [||];
+    j_lens = [||];
+    j_offs = [||];
+    j_frames = [||];
+    j_n = 0;
+    j_bytes = Bytes.empty;
+    j_blen = 0;
   }

@@ -30,6 +30,11 @@ val load64 : t -> int -> int64
 val store64 : t -> int -> int64 -> unit
 (** Atomic durable word write. *)
 
+val store64_unchecked : t -> int -> int64 -> unit
+(** {!store64} without the range/alignment precondition checks, for
+    drain loops over addresses that were validated when first posted
+    (out-of-range still raises, from the underlying bounds checks). *)
+
 val load_byte : t -> int -> char
 val read_into : t -> int -> Bytes.t -> int -> int -> unit
 (** [read_into t addr buf off len] copies [len] device bytes at [addr]
@@ -54,4 +59,34 @@ val load_image : string -> t
 
 val copy : t -> t
 (** A snapshot of the device; used by tests that compare pre/post-crash
-    durable state. *)
+    durable state.  The copy's undo journal starts fresh and disabled
+    regardless of the source's. *)
+
+(** {1 Undo journal}
+
+    Roll-back support for crash-point exploration, which needs to
+    restore the device to a known state hundreds of times per sweep.
+    With the journal enabled every mutation first records the span's
+    old contents, so {!journal_undo_to} costs O(bytes written since the
+    mark) instead of the O(arena) of re-copying a pristine device.
+    Wear counters ({!write_count}, {!total_writes}) are rolled back
+    with the data, so a restored device is indistinguishable from a
+    fresh copy of the original. *)
+
+type mark
+(** A point in the journal to roll back to. *)
+
+val journal_start : t -> unit
+(** Enable journaling (discarding any previous journal contents). *)
+
+val journal_stop : t -> unit
+(** Disable journaling and discard the journal. *)
+
+val journal_mark : t -> mark
+(** The current journal position.  Marks taken later are nested inside
+    earlier ones; undoing to an earlier mark invalidates later ones. *)
+
+val journal_undo_to : t -> mark -> unit
+(** Restore arena contents and wear counters to their state at [mark]
+    by replaying recorded old contents newest-first, then truncate the
+    journal back to [mark]. *)

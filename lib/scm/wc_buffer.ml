@@ -1,8 +1,17 @@
+(* Pending stores live in growable parallel arrays (insertion order,
+   int64 values unboxed in a [Bytes] buffer).  A post is a tick plus
+   two array writes — no tuples, queue cells, or hashtable nodes.  The
+   buffer only fills between a log append and its fence and is bounded
+   by one record, so the rare queries (store forwarding on a load,
+   line-overlap checks on a cached store) just scan it; {!is_empty}
+   gives the cached-access path a one-load fast exit when nothing is
+   pending, the overwhelmingly common case. *)
+
 type t = {
   dev : Scm_device.t;
-  order : (int * int64) Queue.t;
-  latest : (int, int64) Hashtbl.t;
-  lines : (int, int) Hashtbl.t;  (* 64-byte line -> pending word count *)
+  mutable o_addrs : int array;  (* pending stores, program order *)
+  mutable o_vals : Bytes.t;  (* 8 bytes per pending store *)
+  mutable n : int;
   obs : Obs.t;
   cp : Crashpoint.t;
   drain_ctr : Obs.Metrics.counter;
@@ -15,52 +24,71 @@ let create ?obs ?cp dev =
   let cp = match cp with Some c -> c | None -> Crashpoint.create () in
   {
     dev;
-    order = Queue.create ();
-    latest = Hashtbl.create 64;
-    lines = Hashtbl.create 64;
+    o_addrs = Array.make 64 0;
+    o_vals = Bytes.create (64 * 8);
+    n = 0;
     obs;
     cp;
     drain_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.wc.drains";
   }
 
+let[@inline] is_empty t = t.n = 0
+
 let post t addr v =
   if not (Word.is_aligned addr) then
     invalid_arg (Printf.sprintf "Wc_buffer.post: unaligned %#x" addr);
   Crashpoint.tick t.cp Crashpoint.Wt_post;
-  Queue.push (addr, v) t.order;
-  Hashtbl.replace t.latest addr v;
+  if t.n = Array.length t.o_addrs then begin
+    let size = 2 * t.n in
+    t.o_addrs <- Array.append t.o_addrs (Array.make t.n 0);
+    let vals = Bytes.create (size * 8) in
+    Bytes.blit t.o_vals 0 vals 0 (t.n * 8);
+    t.o_vals <- vals
+  end;
+  t.o_addrs.(t.n) <- addr;
+  Bytes.set_int64_le t.o_vals (t.n * 8) v;
+  t.n <- t.n + 1
+
+(* Newest pending value wins, so scan backward from the tail. *)
+let lookup t addr =
+  let i = ref (t.n - 1) in
+  while !i >= 0 && t.o_addrs.(!i) <> addr do
+    decr i
+  done;
+  if !i < 0 then None else Some (Bytes.get_int64_le t.o_vals (!i * 8))
+
+let pending_in_line t addr =
   let line = addr lsr line_shift in
-  Hashtbl.replace t.lines line
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.lines line))
+  let i = ref (t.n - 1) in
+  while !i >= 0 && t.o_addrs.(!i) lsr line_shift <> line do
+    decr i
+  done;
+  !i >= 0
 
-let lookup t addr = Hashtbl.find_opt t.latest addr
-
-let pending_in_line t addr = Hashtbl.mem t.lines (addr lsr line_shift)
-
-let pending_words t = Queue.length t.order
-let pending_bytes t = 8 * Queue.length t.order
-
-let clear t =
-  Queue.clear t.order;
-  Hashtbl.reset t.latest;
-  Hashtbl.reset t.lines
+let pending_words t = t.n
+let pending_bytes t = 8 * t.n
+let clear t = t.n <- 0
 
 let drain t =
-  let words = Queue.length t.order in
-  if words > 0 then begin
+  if t.n > 0 then begin
     Crashpoint.tick t.cp Crashpoint.Wc_drain;
     Obs.Metrics.incr t.drain_ctr;
-    Obs.instant t.obs Obs.Trace.Wc_drain ~arg:words
-  end;
-  Queue.iter (fun (addr, v) -> Scm_device.store64 t.dev addr v) t.order;
-  clear t
+    Obs.instant t.obs Obs.Trace.Wc_drain ~arg:t.n;
+    for i = 0 to t.n - 1 do
+      Scm_device.store64_unchecked t.dev t.o_addrs.(i)
+        (Bytes.get_int64_le t.o_vals (i * 8))
+    done;
+    clear t
+  end
 
 let crash_apply_subset t rng =
   let applied = ref 0 in
   (* Apply a random subset in a random order.  Later writes to the same
      address may land while earlier ones do not — the torn-write
      hazard. *)
-  let pending = Array.of_seq (Queue.to_seq t.order) in
+  let pending =
+    Array.init t.n (fun i -> (t.o_addrs.(i), Bytes.get_int64_le t.o_vals (i * 8)))
+  in
   let n = Array.length pending in
   for i = n - 1 downto 1 do
     let j = Random.State.int rng (i + 1) in

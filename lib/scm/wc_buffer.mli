@@ -23,6 +23,10 @@ val create : ?obs:Obs.t -> ?cp:Crashpoint.t -> Scm_device.t -> t
 val post : t -> int -> int64 -> unit
 (** Queue a 64-bit streaming store to an aligned address. *)
 
+val is_empty : t -> bool
+(** No stores pending — the common case on cached-access paths, which
+    use it to skip store-forwarding lookups entirely. *)
+
 val lookup : t -> int -> int64 option
 (** Most recent pending value for an address, if any. *)
 

@@ -703,6 +703,45 @@ be asynchronous")
                ~config:{ undo_cfg with truncation = Mtm.Txn.Async }
                pmem)))
 
+(* ------------------------------------------------------------------ *)
+(* Allocation budget *)
+
+(* Regression guard for the allocation-free commit pipeline: a
+   steady-state 8-write commit must stay under a fixed minor-word
+   budget.  The reusable write-set, preallocated encode buffer and
+   Bytes-staged log append put the measured cost around 240 minor
+   words/commit; the budget leaves ~2x headroom for runtime-to-runtime
+   variation while still catching any reintroduction of per-commit
+   Hashtbl/list/closure churn (which costs thousands). *)
+let test_commit_allocation_budget () =
+  with_tmpdir (fun dir ->
+      let _, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 4096 in
+      let th = Mtm.Txn.thread pool 0 (Region.Pmem.default_view pmem).env in
+      let iter i =
+        Mtm.Txn.run th (fun tx ->
+            for j = 0 to 7 do
+              Mtm.Txn.store tx
+                (data + (8 * ((i + (j * 17)) land 255)))
+                (Int64.of_int (i + j))
+            done)
+      in
+      (* warm up: grow the write-set, log and heap to steady state *)
+      for i = 0 to 199 do
+        iter i
+      done;
+      let n = 500 in
+      let m0 = Gc.minor_words () in
+      for i = 0 to n - 1 do
+        iter i
+      done;
+      let per_commit = (Gc.minor_words () -. m0) /. float_of_int n in
+      if per_commit >= 512. then
+        Alcotest.failf
+          "steady-state commit allocates %.0f minor words (budget 512)"
+          per_commit)
+
 let () =
   Alcotest.run "mtm"
     [
@@ -717,6 +756,8 @@ let () =
             test_read_your_writes_and_lazy_versioning;
           Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
           Alcotest.test_case "nested flattening" `Quick test_nested_flattening;
+          Alcotest.test_case "commit allocation budget" `Quick
+            test_commit_allocation_budget;
         ] );
       ( "recovery",
         [

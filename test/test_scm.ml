@@ -308,6 +308,148 @@ let test_crashpoint_arm_validation () =
   Alcotest.(check bool) "not crashed" false (Crashpoint.crashed cp)
 
 (* ------------------------------------------------------------------ *)
+(* Eviction-sequence determinism *)
+
+(* The array-backed cache rewrite pinned the eviction semantics of the
+   original Hashtbl implementation: the victim is drawn uniformly from
+   a dense insertion-ordered array of resident line addresses
+   (append on fill, swap-remove on removal), and the rng is consumed
+   only for that draw.  Mirror that reference model here, drive both
+   through an identical op mix, and require the observed victim
+   sequence (Cache_evict trace instants) to match the model's op for
+   op — the property that keeps crash-point indices stable across
+   cache reimplementations. *)
+let test_cache_eviction_sequence_matches_model () =
+  let cap = 8 in
+  let obs = Obs.create ~tracing:true () in
+  let m =
+    Env.make_machine ~seed:7 ~obs ~cache_capacity_lines:cap ~nframes:4 ()
+  in
+  (* Reference model state: resident bases + an identically seeded rng
+     (Cache.create seeds its rng from the machine seed). *)
+  let rng = Random.State.make [| 7 |] in
+  let members = Array.make cap (-1) in
+  let nmembers = ref 0 in
+  let expected = ref [] in
+  let m_find base =
+    let r = ref (-1) in
+    for i = 0 to !nmembers - 1 do
+      if members.(i) = base then r := i
+    done;
+    !r
+  in
+  let m_remove_at i =
+    members.(i) <- members.(!nmembers - 1);
+    decr nmembers
+  in
+  let m_touch base =
+    if m_find base < 0 then begin
+      if !nmembers >= cap then begin
+        let i = Random.State.int rng !nmembers in
+        expected := members.(i) :: !expected;
+        m_remove_at i
+      end;
+      members.(!nmembers) <- base;
+      incr nmembers
+    end
+  in
+  let m_drop base =
+    let i = m_find base in
+    if i >= 0 then m_remove_at i
+  in
+  let x = ref 123456789 in
+  for _ = 1 to 4000 do
+    x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+    let addr = !x mod 128 * 64 in
+    match !x lsr 8 land 3 with
+    | 0 ->
+        ignore (Cache.read_word m.cache addr);
+        m_touch addr
+    | 1 ->
+        Cache.write_word m.cache addr (Int64.of_int !x);
+        m_touch addr
+    | 2 ->
+        ignore (Cache.flush_line m.cache addr);
+        m_drop addr
+    | _ ->
+        Cache.wt_invalidate m.cache addr;
+        m_drop addr
+  done;
+  let actual =
+    match obs.Obs.trace with
+    | None -> Alcotest.fail "tracing was enabled"
+    | Some tr ->
+        List.filter_map
+          (fun (e : Obs.Trace.event) ->
+            if e.kind = Obs.Trace.Cache_evict then Some e.arg else None)
+          (Obs.Trace.events tr)
+  in
+  Alcotest.(check bool)
+    "workload actually evicts" true
+    (List.length actual > 100);
+  Alcotest.(check (list int))
+    "victim sequence matches the reference model" (List.rev !expected) actual
+
+(* ------------------------------------------------------------------ *)
+(* Device undo journal *)
+
+let test_device_journal_restores_snapshot () =
+  let dev = Scm_device.create ~nframes:4 () in
+  for i = 0 to 99 do
+    Scm_device.store64 dev (i * 8) (Int64.of_int (i * 3))
+  done;
+  Scm_device.journal_start dev;
+  let mark = Scm_device.journal_mark dev in
+  let snap = Scm_device.copy dev in
+  (* Mutate through every journaled path: checked and unchecked word
+     stores plus a multi-byte line write. *)
+  for i = 0 to 49 do
+    Scm_device.store64 dev (i * 16) (-1L)
+  done;
+  Scm_device.store64_unchecked dev 4096 7L;
+  let line = Bytes.make 64 '\xab' in
+  Scm_device.write_from dev 8192 line 0 64;
+  Alcotest.(check bool) "state diverged" true
+    (Scm_device.load64 dev 0 <> Scm_device.load64 snap 0);
+  Scm_device.journal_undo_to dev mark;
+  for i = 0 to (4 * 4096 / 8) - 1 do
+    if Scm_device.load64 dev (i * 8) <> Scm_device.load64 snap (i * 8) then
+      Alcotest.failf "word %d differs after undo" i
+  done;
+  for f = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "frame %d wear restored" f)
+      (Scm_device.write_count snap f)
+      (Scm_device.write_count dev f)
+  done;
+  Alcotest.(check int) "total writes restored"
+    (Scm_device.total_writes snap)
+    (Scm_device.total_writes dev)
+
+let test_device_journal_nested_marks () =
+  let dev = Scm_device.create ~nframes:1 () in
+  Scm_device.journal_start dev;
+  let m0 = Scm_device.journal_mark dev in
+  Scm_device.store64 dev 0 1L;
+  let m1 = Scm_device.journal_mark dev in
+  Scm_device.store64 dev 0 2L;
+  Scm_device.store64 dev 8 3L;
+  Scm_device.journal_undo_to dev m1;
+  Alcotest.(check int64) "inner undo keeps outer write" 1L
+    (Scm_device.load64 dev 0);
+  Alcotest.(check int64) "inner undo reverts" 0L (Scm_device.load64 dev 8);
+  Alcotest.(check int) "wear rewound to mark" 1 (Scm_device.total_writes dev);
+  (* the journal can keep recording after an undo *)
+  Scm_device.store64 dev 16 9L;
+  Scm_device.journal_undo_to dev m0;
+  Alcotest.(check int64) "outer undo reverts everything" 0L
+    (Scm_device.load64 dev 0);
+  Alcotest.(check int64) "outer undo reverts the re-write" 0L
+    (Scm_device.load64 dev 16);
+  Alcotest.(check int) "wear fully rewound" 0 (Scm_device.total_writes dev);
+  Scm_device.journal_stop dev
+
+(* ------------------------------------------------------------------ *)
 (* Word helpers *)
 
 let test_word_bits () =
@@ -402,6 +544,15 @@ let () =
             test_cache_byte_range_spanning_lines;
           Alcotest.test_case "dirty lines listing" `Quick
             test_cache_dirty_lines_listing;
+          Alcotest.test_case "eviction sequence matches reference model"
+            `Quick test_cache_eviction_sequence_matches_model;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "undo restores a snapshot" `Quick
+            test_device_journal_restores_snapshot;
+          Alcotest.test_case "nested marks" `Quick
+            test_device_journal_nested_marks;
         ] );
       ( "wc-buffer",
         [
