@@ -134,6 +134,16 @@ let rec rm_rf path =
     end
     else Sys.remove path
 
+(* --sched-policy/--sched-seed: run the whole harness under a non-Fifo
+   same-time tiebreak (see Sim.Schedule) to check the figures are not
+   artifacts of one particular interleaving.  Fifo is the default and
+   keeps every section bit-identical to the historical scheduler. *)
+let sched_policy = ref Sim.Schedule.Fifo
+let sched_seed = ref 0
+
+let bench_sim () =
+  Sim.create ~schedule:(Sim.Schedule.make ~seed:!sched_seed !sched_policy) ()
+
 let sim_env sim (m : Scm.Env.machine) =
   Scm.Env.view m ~delay:(fun ns -> Sim.delay sim ns)
     ~now:(fun () -> Sim.now sim)
@@ -166,7 +176,7 @@ let run_mtm_hashtable ?(latency = Scm.Latency_model.default) ~threads
   let dir = fresh_dir "ht-mtm" in
   let inst = Mnemosyne.open_instance ~geometry ~latency ~dir () in
   let machine = Mnemosyne.machine inst in
-  let sim = Sim.create () in
+  let sim = bench_sim () in
   let heap_mu = Sim.Mutex_r.create sim in
   Pmheap.Heap.set_exclusion (Mnemosyne.heap inst) (fun f ->
       Sim.Mutex_r.with_lock heap_mu f);
@@ -218,7 +228,7 @@ let run_mtm_hashtable ?(latency = Scm.Latency_model.default) ~threads
 let run_bdb_hashtable ?(latency = Scm.Latency_model.default) ~threads
     ~value_bytes ~ops_per_thread () =
   let disk = Baseline.Pcm_disk.create ~latency ~nblocks:4096 () in
-  let sim = Sim.create () in
+  let sim = bench_sim () in
   let bdb = Baseline.Bdb.create ~sim ~cache_pages:512 disk in
   let machine = Scm.Env.make_machine ~latency ~nframes:16 () in
   let wlat = Workload.Stats.create () in
@@ -359,7 +369,7 @@ let figure7 () =
 let run_ldap backend_name =
   let threads = 4 and adds_per_thread = 250 in
   let dir = fresh_dir "ldap" in
-  let sim = Sim.create () in
+  let sim = bench_sim () in
   let latency = Scm.Latency_model.default in
   let server, machine, cleanup =
     match backend_name with
@@ -405,7 +415,7 @@ let run_ldap backend_name =
 let run_tc ?(threads = 1) ?request_ns backend_name ~value_bytes =
   let ops = 400 / threads in
   let dir = fresh_dir "tc" in
-  let sim = Sim.create () in
+  let sim = bench_sim () in
   let store, machine, cleanup =
     match backend_name with
     | `Msync ->
@@ -646,7 +656,7 @@ let run_truncation_mode ~mode ~value_bytes ~idle_pct =
   in
   let inst = Mnemosyne.open_instance ~geometry ~mtm ~dir () in
   let machine = Mnemosyne.machine inst in
-  let sim = Sim.create () in
+  let sim = bench_sim () in
   let heap_mu = Sim.Mutex_r.create sim in
   Pmheap.Heap.set_exclusion (Mnemosyne.heap inst) (fun f ->
       Sim.Mutex_r.with_lock heap_mu f);
@@ -1400,6 +1410,28 @@ let () =
     | "--metrics" :: rest ->
         show_metrics := true;
         parse rest
+    | "--sched-policy" :: p :: rest -> (
+        match Sim.Schedule.policy_of_string p with
+        | Ok policy ->
+            sched_policy := policy;
+            parse rest
+        | Error msg ->
+            Printf.eprintf "bench: %s\n" msg;
+            exit 2)
+    | "--sched-policy" :: [] ->
+        prerr_endline "bench: --sched-policy requires fifo|shuffle|priority";
+        exit 2
+    | "--sched-seed" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some s ->
+            sched_seed := s;
+            parse rest
+        | None ->
+            prerr_endline "bench: --sched-seed requires an integer";
+            exit 2)
+    | "--sched-seed" :: [] ->
+        prerr_endline "bench: --sched-seed requires an integer";
+        exit 2
     | a :: rest -> a :: parse rest
   in
   let args = parse (List.tl (Array.to_list Sys.argv)) in

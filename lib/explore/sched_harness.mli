@@ -1,0 +1,61 @@
+(** The schedule-exploration harness shared by [bin/sched_explore] and
+    the test suite.
+
+    One {!run} executes a deterministic multi-threaded read-write
+    workload ({!Workload.Stress_model.txn_rw}) over a fresh Mnemosyne
+    instance under a {!Sim.Schedule} — recording every same-time
+    tiebreak and backoff draw — then checks the collected transaction
+    {!Mtm.History} for conflict serializability against the final
+    memory image.  A violating run's schedule can be {!save_schedule}d
+    and replayed bit-exactly. *)
+
+type cfg = {
+  seed : int;
+  threads : int;
+  txns : int;  (** Per thread. *)
+  nslots : int;  (** Shared 8-byte slots the transactions fight over. *)
+  policy : Sim.Schedule.policy;
+  undo : bool;  (** Run under [Eager_undo] instead of [Lazy_redo]. *)
+  zero_lat : bool;
+      (** Zero every software-overhead latency, collapsing code paths
+          onto single simulated ticks: every yield becomes a same-time
+          tie the policy gets to order.  The adversarial mode — races
+          whose windows the default costs keep closed open up here. *)
+  trace : bool;  (** Record an observability trace during the run. *)
+  dir : string;  (** Scratch instance directory (reset on each run). *)
+}
+
+val default_cfg : dir:string -> cfg
+(** 3 threads, 8 transactions each, 16 slots, shuffle policy, seed 0. *)
+
+type outcome = {
+  schedule : Sim.Schedule.t;  (** As recorded (or replayed). *)
+  history : Mtm.History.t;
+  violations : string list;  (** [[]] = conflict-serializable. *)
+  commits : int;
+  ro_commits : int;
+  aborts : int;
+  contention : int;  (** [run] calls that gave up ({!Mtm.Txn.Contention}). *)
+  sim_ns : int;
+  replay_leftover : int;  (** Recorded decisions left unconsumed. *)
+  replay_extra : int;
+      (** Decisions invented past the recorded streams.  A replay is
+          bit-exact iff both divergence counters are 0; a regression
+          trace recorded against since-fixed code legitimately
+          diverges (the fix changes a transaction's fate) while still
+          exercising the schedule prefix that tripped the bug. *)
+  obs : Obs.t;
+}
+
+val run : ?schedule:Sim.Schedule.t -> cfg -> outcome
+(** Run the workload once.  Without [schedule], a recording schedule is
+    built from [cfg.policy] and [cfg.seed]; pass a {!Sim.Schedule.load}ed
+    one to replay. *)
+
+val save_schedule : outcome -> cfg -> string -> unit
+(** Write the outcome's schedule trace, stamping the workload shape
+    (threads/txns/nslots/undo) into the header so the file alone
+    reconstructs the run. *)
+
+val cfg_of_schedule : dir:string -> Sim.Schedule.t -> cfg
+(** Rebuild the run configuration recorded in a trace's header. *)

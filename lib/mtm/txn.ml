@@ -54,6 +54,10 @@ type pool = {
   mutable retries : int;
   mutable contention_failures : int;
   mutable log_full_stalls : int;
+  (* Exploration hooks, both [None] by default so the hot paths cost
+     one branch and the default schedule stays bit-identical. *)
+  mutable history : (History.event -> unit) option;
+  mutable backoff_draw : (int -> int) option;
 }
 
 type thread = {
@@ -78,6 +82,11 @@ type thread = {
   mutable sorted : int array;  (* scratch: write addresses, sorted *)
   mutable enc_buf : Bytes.t;  (* scratch: redo-record encoding, raw LE bytes *)
   undo_buf : int64 array;  (* scratch: one [addr, old] undo record *)
+  (* first-read (addr, value) capture, only filled when the pool has a
+     history hook *)
+  mutable r_addrs : int array;
+  mutable r_vals : int64 array;
+  mutable nreads : int;
 }
 
 and txn = {
@@ -187,6 +196,8 @@ let create_pool ?(config = default_config) pmem heap =
       retries = 0;
       contention_failures = 0;
       log_full_stalls = 0;
+      history = None;
+      backoff_draw = None;
     }
   in
   (* Recovery: gather complete records from every thread log, replay in
@@ -278,7 +289,13 @@ let thread pool i env =
     sorted = Array.make 64 0;
     enc_buf = Bytes.create (160 * 8);
     undo_buf = Array.make 2 0L;
+    r_addrs = Array.make 8 0;
+    r_vals = Array.make 8 0L;
+    nreads = 0;
   }
+
+let set_history_hook pool h = pool.history <- h
+let set_backoff_draw pool d = pool.backoff_draw <- d
 
 (* ------------------------------------------------------------------ *)
 (* Scratch-buffer management (amortized: grow once, reuse forever)     *)
@@ -298,6 +315,19 @@ let push_read th idx ver =
   th.rset_idx.(th.nrset) <- idx;
   th.rset_ver.(th.nrset) <- ver;
   th.nrset <- th.nrset + 1
+
+(* First-read (addr, value) capture for the serializability oracle;
+   only called when the pool has a history hook, so growth here never
+   charges the default hot path. *)
+let record_read th addr v =
+  if th.nreads = Array.length th.r_addrs then begin
+    let n = Array.length th.r_addrs in
+    th.r_addrs <- Array.append th.r_addrs (Array.make n 0);
+    th.r_vals <- Array.append th.r_vals (Array.make n 0L)
+  end;
+  th.r_addrs.(th.nreads) <- addr;
+  th.r_vals.(th.nreads) <- v;
+  th.nreads <- th.nreads + 1
 
 let ensure_sorted th n =
   if Array.length th.sorted < n then th.sorted <- Array.make (2 * n) 0;
@@ -347,7 +377,20 @@ let load tx addr =
     let locks = tx.th.pool.locks in
     let idx = Lock_table.index_of locks addr in
     let o = Lock_table.owner locks idx in
-    if o = tx.th.id then Pmem.load tx.th.view addr
+    if o = tx.th.id then begin
+      let value = Pmem.load tx.th.view addr in
+      (match tx.th.pool.history with
+      | None -> ()
+      | Some _ ->
+          (* under eager undo an in-place write of ours reads back our
+             own value: internal to the transaction, not a history read *)
+          if
+            not
+              (tx.th.pool.cfg.version_mgmt = Eager_undo
+              && Wset.mem tx.old_vals addr)
+          then record_read tx.th addr value);
+      value
+    end
     else if o <> -1 then raise Abort_internal
     else begin
       let v1 = Lock_table.version locks idx in
@@ -357,8 +400,20 @@ let load tx addr =
       if Lock_table.owner locks idx <> -1
          || Lock_table.version locks idx <> v1
       then raise Abort_internal;
-      if v1 > tx.rv then extend tx;
+      if v1 > tx.rv then begin
+        extend tx;
+        (* [extend] validated the read set, but this slot is not in it
+           yet: confirm no commit slipped onto this lock while the
+           timestamp was re-read, or [value] may be newer than the
+           version we are about to record. *)
+        if Lock_table.owner locks idx <> -1
+           || Lock_table.version locks idx <> v1
+        then raise Abort_internal
+      end;
       push_read tx.th idx v1;
+      (match tx.th.pool.history with
+      | None -> ()
+      | Some _ -> record_read tx.th addr value);
       value
     end
   end
@@ -636,6 +691,12 @@ let commit_redo tx =
   let pool = th.pool in
   let env = th.view.Pmem.env in
   let cts = Timestamp.next pool.ts env in
+  (* [Timestamp.next] yields; a transaction that validated in {!commit}
+     can have its read set overwritten by a commit slipping into that
+     window, yet still serialize *after* it at [cts].  Re-validate under
+     the fresh timestamp so cts order matches what was read (race found
+     by bin/sched_explore; regression traces in test/schedules/). *)
+  if not (validate tx) then raise Abort_internal;
   (* Ascending-address write order, encoded into the thread's reusable
      buffer: no per-commit lists, arrays, or boxed values. *)
   let n = sorted_addrs_of th tx.wset in
@@ -666,13 +727,15 @@ let commit_redo tx =
   | Async -> Queue.push { span; addrs = Array.sub th.sorted 0 n } th.pending_q);
   let t3 = env.Scm.Env.now () in
   release_locks tx ~committed:true ~version:cts;
-  (t1 - t0, t2 - t1, t3 - t2)
+  (cts, t1 - t0, t2 - t1, t3 - t2)
 
 let commit_undo tx =
   let th = tx.th in
   let pool = th.pool in
   let env = th.view.Pmem.env in
   let cts = Timestamp.next pool.ts env in
+  (* same validate-before-cts window as {!commit_redo} *)
+  if not (validate tx) then raise Abort_internal;
   (* new values are already in place; make them durable, then the
      atomic log truncation is the commit point.  The per-store log
      appends were charged eagerly in {!store}, so log_write is 0. *)
@@ -683,7 +746,33 @@ let commit_undo tx =
   Pmlog.Rawl.truncate_all th.log;
   let t2 = env.Scm.Env.now () in
   release_locks tx ~committed:true ~version:cts;
-  (0, t2 - t1, t1 - t0)
+  (cts, 0, t2 - t1, t1 - t0)
+
+(* The oracle's view of a committed transaction: first-read values, the
+   write set with its final values, and the commit timestamp.  Only
+   built when a history hook is installed, so the allocation is free on
+   the default path.  Under eager undo the committed values live in
+   memory; [load_nt] reads them back without charging simulated time,
+   so no yield separates lock release from the record. *)
+let history_record tx ~cts ~read_only =
+  let th = tx.th in
+  let reads =
+    Array.init th.nreads (fun i -> (th.r_addrs.(i), th.r_vals.(i)))
+  in
+  let writes =
+    if read_only then [||]
+    else
+      match th.pool.cfg.version_mgmt with
+      | Lazy_redo ->
+          Array.init (Wset.size tx.wset) (fun i ->
+              let addr = Wset.key tx.wset i in
+              (addr, Wset.get tx.wset addr))
+      | Eager_undo ->
+          Array.init (Wset.size tx.old_vals) (fun i ->
+              let addr = Wset.key tx.old_vals i in
+              (addr, Pmem.load_nt th.view addr))
+  in
+  History.Commit { History.tid = th.id; cts; read_only; reads; writes }
 
 let commit tx =
   let pool = tx.th.pool in
@@ -697,6 +786,12 @@ let commit tx =
   in
   if read_only then begin
     pool.ro_commits <- pool.ro_commits + 1;
+    (match pool.history with
+    | None -> ()
+    | Some emit ->
+        (* a read-only commit observed the snapshot at [rv]: it orders
+           directly after the writer whose cts it validated against *)
+        emit (history_record tx ~cts:tx.rv ~read_only:true));
     true
   end
   else if not (validate tx) then false
@@ -706,7 +801,7 @@ let commit tx =
       | Lazy_redo -> Wset.size tx.wset
       | Eager_undo -> Wset.size tx.old_vals
     in
-    let lw, fe, wb =
+    let cts, lw, fe, wb =
       match pool.cfg.version_mgmt with
       | Lazy_redo -> commit_redo tx
       | Eager_undo -> commit_undo tx
@@ -720,6 +815,9 @@ let commit tx =
     Obs.Metrics.record pool.h_stm (max 0 (total - lw - fe - wb));
     Obs.complete pool.obs Obs.Trace.Txn_commit ~ts:t0 ~dur:total ~arg:ws_size;
     pool.commits <- pool.commits + 1;
+    (match pool.history with
+    | None -> ()
+    | Some emit -> emit (history_record tx ~cts ~read_only:false));
     true
   end
 
@@ -730,6 +828,7 @@ let fresh_txn th =
   Wset.clear th.t_old_vals;
   th.nwlocks <- 0;
   th.nrset <- 0;
+  th.nreads <- 0;
   {
     th;
     rv = Timestamp.now th.pool.ts;
@@ -764,11 +863,21 @@ let run th f =
           th.current <- None;
           rollback tx;
           Obs.instant pool.obs Obs.Trace.Txn_abort ~arg:n;
+          (match pool.history with
+          | None -> ()
+          | Some emit -> emit (History.Abort { tid = th.id; attempt = n }));
           pool.retries <- pool.retries + 1;
           Obs.instant pool.obs Obs.Trace.Txn_retry ~arg:(n + 1);
-          (* randomized backoff before retrying *)
-          th.view.Pmem.env.delay
-            (100 * n * (1 + Random.State.int th.rng 4));
+          (* Randomized backoff before retrying.  The jitter draw is the
+             one control-flow-relevant random number in the STM; routing
+             it through the schedule (when one is recording) is what
+             makes [sched_explore --replay] bit-exact across aborts. *)
+          let jitter =
+            match pool.backoff_draw with
+            | Some draw -> draw 4
+            | None -> Random.State.int th.rng 4
+          in
+          th.view.Pmem.env.delay (100 * n * (1 + jitter));
           attempt (n + 1)
         in
         match f tx with

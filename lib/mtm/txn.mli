@@ -172,3 +172,22 @@ val log_usage : pool -> log_usage list
     attach).  Thread-local handles advance independently afterwards, so
     this is exact only before threads run — which is when inspection
     tools ([regionctl stats]) read it. *)
+
+(** {1 Schedule-exploration hooks}
+
+    Both hooks are [None] by default: the hot paths pay one branch and
+    the default schedule stays bit-identical.  The schedule explorer
+    ([bin/sched_explore]) installs them to collect a {!History} and to
+    make retry backoff replay-deterministic. *)
+
+val set_history_hook : pool -> (History.event -> unit) option -> unit
+(** When set, every transaction outcome is reported: commits with their
+    first-read values, write set, and commit timestamp (read-only
+    commits carry their validated [rv]); aborts with the attempt
+    number.  Feed the events to {!History.add} and run {!History.check}
+    to test the run for conflict serializability. *)
+
+val set_backoff_draw : pool -> (int -> int) option -> unit
+(** When set, the randomized retry-backoff jitter is drawn through this
+    function (give it {!Sim.Schedule.draw}) instead of the thread-local
+    rng, so a recorded schedule replays the exact backoff delays. *)

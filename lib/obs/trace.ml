@@ -15,6 +15,7 @@ type kind =
   | Heap_free
   | Swap_in
   | Swap_out
+  | Sched_decision
   | Phase of string
 
 let kind_name = function
@@ -34,6 +35,7 @@ let kind_name = function
   | Heap_free -> "Heap_free"
   | Swap_in -> "Swap_in"
   | Swap_out -> "Swap_out"
+  | Sched_decision -> "Sched_decision"
   | Phase s -> s
 
 let arg_label = function
@@ -45,6 +47,7 @@ let arg_label = function
   | Txn_begin | Txn_commit | Txn_abort | Txn_retry -> "writes"
   | Recovery_replay -> "ts"
   | Swap_in | Swap_out -> "frame"
+  | Sched_decision -> "key"
   | Phase _ -> "value"
 
 type event = { kind : kind; ts : int; dur : int; tid : int; arg : int }

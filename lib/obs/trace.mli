@@ -29,6 +29,9 @@ type kind =
   | Heap_free
   | Swap_in
   | Swap_out
+  | Sched_decision
+      (** A same-time tiebreak drawn by the schedule explorer; the
+          argument is the chosen key (see {!Sim.Schedule}). *)
   | Phase of string  (** A named span, for ad-hoc instrumentation. *)
 
 val kind_name : kind -> string

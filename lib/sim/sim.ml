@@ -1,17 +1,334 @@
 exception Deadlock of string
 
-(* Binary min-heap of events keyed by (time, seq); seq gives FIFO order
-   among same-time events. *)
+(* ------------------------------------------------------------------ *)
+(* Same-time tiebreak policy (schedule exploration)                    *)
+
+module Schedule = struct
+  type policy = Fifo | Seeded_shuffle | Priority
+
+  let policy_name = function
+    | Fifo -> "fifo"
+    | Seeded_shuffle -> "shuffle"
+    | Priority -> "priority"
+
+  let policy_of_string = function
+    | "fifo" -> Ok Fifo
+    | "shuffle" | "seeded_shuffle" -> Ok Seeded_shuffle
+    | "priority" | "pct" -> Ok Priority
+    | s -> Error (Printf.sprintf "unknown schedule policy %S" s)
+
+  (* Growable int buffer: the recorded decision streams. *)
+  module Ibuf = struct
+    type t = { mutable a : int array; mutable n : int }
+
+    let create () = { a = Array.make 64 0; n = 0 }
+    let of_array a = { a; n = Array.length a }
+
+    let push b x =
+      if b.n = Array.length b.a then begin
+        let bigger = Array.make (2 * b.n) 0 in
+        Array.blit b.a 0 bigger 0 b.n;
+        b.a <- bigger
+      end;
+      b.a.(b.n) <- x;
+      b.n <- b.n + 1
+
+    let get b i = b.a.(i)
+    let length b = b.n
+  end
+
+  type t = {
+    policy : policy;
+    seed : int;
+    replay : bool;
+    rng : Random.State.t;
+    keys : Ibuf.t;  (* one tiebreak key per event push (non-Fifo) *)
+    draw_bounds : Ibuf.t;  (* captured client rng draws (retry backoff) *)
+    draw_vals : Ibuf.t;
+    mutable ki : int;  (* replay cursors *)
+    mutable di : int;
+    mutable extra : int;  (* fresh decisions made after replay diverged *)
+    mutable draws_diverged : bool;  (* a draw bound mismatched: stop
+                                       consuming the recorded stream *)
+    mutable meta : (string * string) list;
+    (* PCT-style per-process priorities, re-drawn at seeded change
+       points *)
+    mutable prio : int array;
+    mutable until_change : int;
+    mutable observer : (index:int -> key:int -> unit) option;
+  }
+
+  (* Keys stay well below [max_int] so (time, key, seq) comparisons
+     cannot overflow, and 0 is reserved as the Fifo key. *)
+  let key_range = 0x3FFFFFFF
+
+  let make ?(seed = 0) policy =
+    {
+      policy;
+      seed;
+      replay = false;
+      rng = Random.State.make [| 0x5c4ed; seed |];
+      keys = Ibuf.create ();
+      draw_bounds = Ibuf.create ();
+      draw_vals = Ibuf.create ();
+      ki = 0;
+      di = 0;
+      extra = 0;
+      draws_diverged = false;
+      meta = [];
+      prio = Array.make 64 (-1);
+      until_change = 0;
+      observer = None;
+    }
+
+  let fifo () = make Fifo
+
+  let policy t = t.policy
+  let seed t = t.seed
+  let is_replay t = t.replay
+  let decisions t = if t.replay then t.ki else Ibuf.length t.keys
+  let rng_draws t = if t.replay then t.di else Ibuf.length t.draw_vals
+
+  let replay_leftover t =
+    if not t.replay then 0
+    else Ibuf.length t.keys - t.ki + (Ibuf.length t.draw_vals - t.di)
+
+  let replay_extra t = t.extra
+
+  let set_meta t k v = t.meta <- (k, v) :: List.remove_assoc k t.meta
+  let meta t k = List.assoc_opt k t.meta
+  let set_observer t f = t.observer <- f
+
+  let notify t key =
+    match t.observer with
+    | None -> ()
+    | Some f -> f ~index:(decisions t - 1) ~key
+
+  let ensure_prio t proc =
+    if proc >= Array.length t.prio then begin
+      let bigger = Array.make (2 * (proc + 1)) (-1) in
+      Array.blit t.prio 0 bigger 0 (Array.length t.prio);
+      t.prio <- bigger
+    end;
+    if t.prio.(proc) < 0 then
+      t.prio.(proc) <- 1 + Random.State.int t.rng key_range
+
+  (* PCT-flavoured: every process carries a seeded priority; after a
+     seeded number of scheduling decisions the deciding process's
+     priority is re-drawn (the "priority change point"), so one process
+     dominates for a stretch and then the balance shifts. *)
+  let priority_key t proc =
+    ensure_prio t proc;
+    if t.until_change <= 0 then
+      t.until_change <- 1 + Random.State.int t.rng 63;
+    t.until_change <- t.until_change - 1;
+    if t.until_change = 0 then
+      t.prio.(proc) <- 1 + Random.State.int t.rng key_range;
+    t.prio.(proc)
+
+  let fresh_key t ~proc =
+    match t.policy with
+    | Fifo -> 0
+    | Seeded_shuffle -> 1 + Random.State.int t.rng key_range
+    | Priority -> priority_key t proc
+
+  (* The key of the event being pushed, for the heap's same-time
+     ordering: lower keys run first; equal keys fall back to FIFO
+     [seq].  [Fifo] always answers 0 (bit-identical to the historical
+     behaviour); the other policies draw from the seeded rng and record
+     the value, or consume the recorded stream when replaying.
+
+     A replay that outlives its recorded stream is not an error: the
+     code under replay may legitimately diverge from the code that
+     recorded the trace — a regression trace captured against pre-fix
+     code makes the fixed code abort a transaction the recording
+     committed, after which the two runs make different numbers of
+     decisions.  Past the end of the stream we fall back to fresh
+     policy draws (still deterministic: same trace, same fallback) and
+     count them in [replay_extra]; bit-exact replay is [replay_leftover
+     = 0 && replay_extra = 0]. *)
+  let next_key t ~proc =
+    match t.policy with
+    | Fifo -> 0
+    | Seeded_shuffle | Priority ->
+        let k =
+          if t.replay then
+            if t.ki >= Ibuf.length t.keys then begin
+              t.extra <- t.extra + 1;
+              fresh_key t ~proc
+            end
+            else begin
+              let k = Ibuf.get t.keys t.ki in
+              t.ki <- t.ki + 1;
+              k
+            end
+          else begin
+            let k = fresh_key t ~proc in
+            Ibuf.push t.keys k;
+            k
+          end
+        in
+        notify t k;
+        k
+
+  let draw t ~bound =
+    if bound <= 0 then invalid_arg "Schedule.draw: bound must be positive";
+    if t.replay then
+      if
+        t.draws_diverged
+        || t.di >= Ibuf.length t.draw_vals
+        || Ibuf.get t.draw_bounds t.di <> bound
+      then begin
+        (* Exhausted, or the caller asked with a different bound than
+           the recording paired with this position: the replayed run
+           took a different retry path.  Re-syncing after a mismatch
+           would pair recorded draws with the wrong call sites, so stop
+           consuming the stream and fall back to fresh draws. *)
+        if t.di < Ibuf.length t.draw_vals then t.draws_diverged <- true;
+        t.extra <- t.extra + 1;
+        Random.State.int t.rng bound
+      end
+      else begin
+        let v = Ibuf.get t.draw_vals t.di in
+        t.di <- t.di + 1;
+        v
+      end
+    else begin
+      let v = Random.State.int t.rng bound in
+      Ibuf.push t.draw_bounds bound;
+      Ibuf.push t.draw_vals v;
+      v
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Trace files: a replayable record of every decision               *)
+
+  let save t path =
+    Out_channel.with_open_text path (fun oc ->
+        Printf.fprintf oc "mnemosyne-sched-trace 1\n";
+        Printf.fprintf oc "policy %s\n" (policy_name t.policy);
+        Printf.fprintf oc "seed %d\n" t.seed;
+        List.iter
+          (fun (k, v) -> Printf.fprintf oc "meta %s %s\n" k v)
+          (List.rev t.meta);
+        let nkeys = Ibuf.length t.keys in
+        Printf.fprintf oc "keys %d\n" nkeys;
+        for i = 0 to nkeys - 1 do
+          Printf.fprintf oc "%d%c" (Ibuf.get t.keys i)
+            (if i mod 16 = 15 || i = nkeys - 1 then '\n' else ' ')
+        done;
+        let ndraws = Ibuf.length t.draw_vals in
+        Printf.fprintf oc "draws %d\n" ndraws;
+        for i = 0 to ndraws - 1 do
+          Printf.fprintf oc "%d %d\n" (Ibuf.get t.draw_bounds i)
+            (Ibuf.get t.draw_vals i)
+        done)
+
+  let load path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg -> Error msg
+    | content -> (
+        let toks =
+          String.split_on_char '\n' content
+          |> List.concat_map (String.split_on_char ' ')
+          |> List.filter (fun s -> s <> "")
+          |> Array.of_list
+        in
+        let pos = ref 0 in
+        let exception Parse of string in
+        let tok what =
+          if !pos >= Array.length toks then
+            raise (Parse (Printf.sprintf "truncated trace: expected %s" what));
+          let t = toks.(!pos) in
+          incr pos;
+          t
+        in
+        let int what =
+          let t = tok what in
+          match int_of_string_opt t with
+          | Some i -> i
+          | None ->
+              raise (Parse (Printf.sprintf "expected %s, got %S" what t))
+        in
+        let expect lit =
+          let t = tok lit in
+          if t <> lit then
+            raise (Parse (Printf.sprintf "expected %S, got %S" lit t))
+        in
+        try
+          expect "mnemosyne-sched-trace";
+          let version = int "version" in
+          if version <> 1 then
+            raise (Parse (Printf.sprintf "unknown version %d" version));
+          expect "policy";
+          let policy =
+            match policy_of_string (tok "policy name") with
+            | Ok p -> p
+            | Error e -> raise (Parse e)
+          in
+          expect "seed";
+          let seed = int "seed" in
+          let meta = ref [] in
+          while !pos < Array.length toks && toks.(!pos) = "meta" do
+            incr pos;
+            let k = tok "meta key" in
+            let v = tok "meta value" in
+            meta := (k, v) :: !meta
+          done;
+          expect "keys";
+          let nkeys = int "key count" in
+          let keys = Array.init nkeys (fun _ -> int "key") in
+          expect "draws";
+          let ndraws = int "draw count" in
+          let draw_bounds = Array.make ndraws 0 in
+          let draw_vals = Array.make ndraws 0 in
+          for i = 0 to ndraws - 1 do
+            draw_bounds.(i) <- int "draw bound";
+            draw_vals.(i) <- int "draw value"
+          done;
+          Ok
+            {
+              policy;
+              seed;
+              replay = true;
+              rng = Random.State.make [| 0x5c4ed; seed |];
+              keys = Ibuf.of_array keys;
+              draw_bounds = Ibuf.of_array draw_bounds;
+              draw_vals = Ibuf.of_array draw_vals;
+              ki = 0;
+              di = 0;
+              extra = 0;
+              draws_diverged = false;
+              meta = !meta;
+              prio = Array.make 64 (-1);
+              until_change = 0;
+              observer = None;
+            }
+        with Parse msg -> Error (Printf.sprintf "%s: %s" path msg))
+end
+
+(* Binary min-heap of events keyed by (time, key, seq): [key] is the
+   schedule policy's same-time tiebreak (always 0 under Fifo), [seq]
+   gives FIFO order among same-time same-key events. *)
 module Heap = struct
-  type entry = { time : int; seq : int; thunk : unit -> unit }
+  type entry = {
+    time : int;
+    key : int;
+    seq : int;
+    proc : int;
+    thunk : unit -> unit;
+  }
 
   type t = { mutable a : entry array; mutable n : int }
 
-  let dummy = { time = 0; seq = 0; thunk = ignore }
+  let dummy = { time = 0; key = 0; seq = 0; proc = 0; thunk = ignore }
 
   let create () = { a = Array.make 256 dummy; n = 0 }
 
-  let before x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+  let before x y =
+    x.time < y.time
+    || (x.time = y.time
+       && (x.key < y.key || (x.key = y.key && x.seq < y.seq)))
 
   let push t e =
     if t.n = Array.length t.a then begin
@@ -64,21 +381,38 @@ type t = {
   events : Heap.t;
   mutable started : int;
   mutable suspended : int;  (* processes parked via [suspend] *)
+  sched : Schedule.t;
+  mutable cur_proc : int;  (* process whose event is executing *)
+  mutable next_proc : int;
 }
 
 type _ Effect.t +=
   | Delay : t * int -> unit Effect.t
   | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
 
-let create () =
-  { clock = 0; seq = 0; events = Heap.create (); started = 0; suspended = 0 }
+let create ?schedule () =
+  let sched =
+    match schedule with Some s -> s | None -> Schedule.fifo ()
+  in
+  {
+    clock = 0;
+    seq = 0;
+    events = Heap.create ();
+    started = 0;
+    suspended = 0;
+    sched;
+    cur_proc = 0;
+    next_proc = 0;
+  }
 
 let now t = t.clock
+let schedule_of t = t.sched
 
-let schedule t time thunk =
+let schedule_for t ~proc time thunk =
   let seq = t.seq in
   t.seq <- seq + 1;
-  Heap.push t.events { time; seq; thunk }
+  let key = Schedule.next_key t.sched ~proc in
+  Heap.push t.events { Heap.time; key; seq; proc; thunk }
 
 let delay t ns =
   if ns < 0 then invalid_arg "Sim.delay: negative";
@@ -101,10 +435,12 @@ let run_process t body =
           | Delay (sim, ns) ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  schedule sim (sim.clock + ns) (fun () -> continue k ()))
+                  schedule_for sim ~proc:sim.cur_proc (sim.clock + ns)
+                    (fun () -> continue k ()))
           | Suspend (sim, register) ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  let proc = sim.cur_proc in
                   sim.suspended <- sim.suspended + 1;
                   let resumed = ref false in
                   register (fun () ->
@@ -112,11 +448,15 @@ let run_process t body =
                         failwith "Sim.suspend: resume called twice";
                       resumed := true;
                       sim.suspended <- sim.suspended - 1;
-                      schedule sim sim.clock (fun () -> continue k ())))
+                      schedule_for sim ~proc sim.clock (fun () ->
+                          continue k ())))
           | _ -> None);
     }
 
-let spawn_at ?name:_ t time body = schedule t time (fun () -> run_process t body)
+let spawn_at ?name:_ t time body =
+  let proc = t.next_proc in
+  t.next_proc <- proc + 1;
+  schedule_for t ~proc time (fun () -> run_process t body)
 
 let spawn ?name t body = spawn_at ?name t t.clock body
 
@@ -131,16 +471,21 @@ let run ?until t =
                (Printf.sprintf "%d process(es) suspended with no events"
                   t.suspended));
         continue_run := false
-    | Some { time; thunk; _ } -> (
+    | Some e -> (
         match until with
-        | Some limit when time > limit ->
-            (* Put it back and stop: caller may resume later. *)
-            schedule t time thunk;
+        | Some limit when e.Heap.time > limit ->
+            (* Put it back and stop: caller may resume later.  The entry
+               keeps its tiebreak key (no schedule decision is spent),
+               matching the historical re-push under Fifo. *)
+            let seq = t.seq in
+            t.seq <- seq + 1;
+            Heap.push t.events { e with Heap.seq };
             t.clock <- limit;
             continue_run := false
         | _ ->
-            t.clock <- time;
-            thunk ())
+            t.clock <- e.Heap.time;
+            t.cur_proc <- e.Heap.proc;
+            e.Heap.thunk ())
   done;
   ignore (Heap.size t.events)
 

@@ -12,14 +12,114 @@
     Processes are implemented with OCaml 5 effects: [delay] and blocking
     operations perform an effect captured by the scheduler, which
     resumes the continuation when the simulated clock reaches the wake
-    time. *)
+    time.
+
+    Events that fall due at the same simulated instant are ordered by a
+    pluggable {!Schedule} policy.  The default ({!Schedule.Fifo}) runs
+    them in creation order — the historical behaviour, bit-identical —
+    while the exploration policies permute same-time ties to fuzz
+    interleavings (see DESIGN.md section 10 and [bin/sched_explore]). *)
+
+(** Same-time tiebreak policy, decision recording, and bit-exact
+    replay.
+
+    A schedule owns every source of nondeterminism in a simulated run:
+    the tiebreak key drawn for each scheduled event, and any client rng
+    draws routed through {!Schedule.draw} (the STM's retry backoff).
+    In recording mode each decision is appended to an in-memory trace;
+    {!Schedule.save} writes it to a file and {!Schedule.load} rebuilds
+    a replaying schedule that feeds the recorded decisions back in
+    order.  A replayed run may diverge from the recording — notably, a
+    regression trace captured against buggy code stops matching once
+    the fix changes a transaction's fate — so running off the end of a
+    stream falls back to fresh policy draws rather than failing;
+    {!Schedule.replay_leftover} and {!Schedule.replay_extra} quantify
+    the divergence (both 0 = bit-exact). *)
+module Schedule : sig
+  (** [Fifo] — creation order among same-time events (the default;
+      bit-identical to the pre-exploration scheduler).
+      [Seeded_shuffle] — every event gets an independent random key, so
+      same-time ties land in a seeded random permutation.  [Priority] —
+      PCT-style: each process keeps a seeded priority used as the key;
+      after a seeded number of decisions the deciding process's
+      priority is re-drawn (a priority change point). *)
+  type policy = Fifo | Seeded_shuffle | Priority
+
+  type t
+
+  val fifo : unit -> t
+  (** The default schedule: Fifo policy, nothing to record. *)
+
+  val make : ?seed:int -> policy -> t
+  (** A recording schedule: decisions are drawn from an rng seeded with
+      [seed] and captured for {!save}. *)
+
+  val policy : t -> policy
+  val seed : t -> int
+
+  val is_replay : t -> bool
+  (** True for schedules built by {!load}. *)
+
+  val policy_name : policy -> string
+  (** ["fifo"] / ["shuffle"] / ["priority"]. *)
+
+  val policy_of_string : string -> (policy, string) result
+
+  val draw : t -> bound:int -> int
+  (** A captured rng draw in [\[0, bound)]: recorded into (or replayed
+      from) the schedule trace.  Client code whose control flow depends
+      on random numbers (retry backoff) must route them through here to
+      make replay bit-exact. *)
+
+  val decisions : t -> int
+  (** Tiebreak keys drawn (recording) or consumed (replay) so far. *)
+
+  val rng_draws : t -> int
+  (** {!draw} calls made (recording) or consumed (replay) so far. *)
+
+  val replay_leftover : t -> int
+  (** Recorded decisions a replay has not consumed (always 0 when
+      recording). *)
+
+  val replay_extra : t -> int
+  (** Decisions a replay had to invent because the run outlived the
+      recorded streams — fresh policy draws past the end of the key
+      stream, or rng draws after the draw stream exhausted or a bound
+      mismatched (always 0 when recording).  A replay reproduced the
+      recording bit-exactly iff [replay_leftover = 0] and
+      [replay_extra = 0]. *)
+
+  val set_meta : t -> string -> string -> unit
+  (** Attach a key/value pair saved in the trace header — tools store
+      their workload parameters here so a trace file alone suffices to
+      reconstruct the run ([sched_explore --replay]).  Values must not
+      contain whitespace. *)
+
+  val meta : t -> string -> string option
+
+  val set_observer : t -> (index:int -> key:int -> unit) option -> unit
+  (** Called on every tiebreak decision (recording and replay) with its
+      index and chosen key; [sched_explore] feeds these to the
+      observability trace as schedule-point events. *)
+
+  val save : t -> string -> unit
+  (** Write the trace (policy, seed, meta, every decision) to a file. *)
+
+  val load : string -> (t, string) result
+  (** Rebuild a replaying schedule from a {!save}d file. *)
+end
 
 type t
 
-val create : unit -> t
+val create : ?schedule:Schedule.t -> unit -> t
+(** [create ()] uses {!Schedule.fifo}, preserving the historical
+    deterministic order exactly. *)
 
 val now : t -> int
 (** Current simulated time in nanoseconds. *)
+
+val schedule_of : t -> Schedule.t
+(** The schedule this simulator draws its tiebreak decisions from. *)
 
 val spawn : ?name:string -> t -> (unit -> unit) -> unit
 (** Register a process to start at the current simulated time.  The

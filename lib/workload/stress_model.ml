@@ -8,6 +8,25 @@ let txn_updates ?(nslots = default_nslots) ~seed ~t () =
       let value = Int64.of_int (1 + Random.State.int rng 0x3fffffff) in
       (slot, value))
 
+type rw_txn = { reads : int list; writes : (int * int64) list }
+
+(* Read-write transaction shapes for the schedule explorer: unlike
+   [txn_updates] these carry explicit reads, so two transactions can
+   conflict through a read-write edge alone — exactly the dependency a
+   serializability violation lives on. *)
+let txn_rw ?(nslots = default_nslots) ~seed ~thread ~t () =
+  let rng = Random.State.make [| seed; thread; t; 0x5eed |] in
+  let nr = 1 + Random.State.int rng 4 in
+  let nw = 1 + Random.State.int rng 4 in
+  let reads = List.init nr (fun _ -> Random.State.int rng nslots) in
+  let writes =
+    List.init nw (fun _ ->
+        let slot = Random.State.int rng nslots in
+        let value = Int64.of_int (1 + Random.State.int rng 0x3fffffff) in
+        (slot, value))
+  in
+  { reads; writes }
+
 let model_after ?(nslots = default_nslots) ~seed count =
   let m = Array.make nslots 0L in
   for t = 0 to count - 1 do

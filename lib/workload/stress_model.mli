@@ -15,3 +15,15 @@ val txn_updates : ?nslots:int -> seed:int -> t:int -> unit -> (int * int64) list
 
 val model_after : ?nslots:int -> seed:int -> int -> int64 array
 (** Slot contents after replaying transactions [0 .. count - 1]. *)
+
+(** {1 Read-write transactions for the schedule explorer} *)
+
+type rw_txn = { reads : int list; writes : (int * int64) list }
+
+val txn_rw :
+  ?nslots:int -> seed:int -> thread:int -> t:int -> unit -> rw_txn
+(** The deterministic shape of transaction [t] on [thread]: 1-4 slots
+    to read and 1-4 (slot, value) pairs to write.  [sched_explore]
+    makes each written value depend on the values read (an xor fold),
+    so a non-serializable read shows up as divergent final memory as
+    well as in the recorded history. *)

@@ -704,6 +704,170 @@ be asynchronous")
                pmem)))
 
 (* ------------------------------------------------------------------ *)
+(* Lock table: striding, re-entrancy, release/version protocol *)
+
+let prop_lock_striding =
+  QCheck.Test.make ~name:"lock striding: 64-byte lines, 2^24-byte aliasing"
+    ~count:200
+    QCheck.(int_bound 0x0FFF_FFFF)
+    (fun addr ->
+      let t = Mtm.Lock_table.create () in
+      (* default bits = 18 *)
+      let idx = Mtm.Lock_table.index_of t addr in
+      let line = addr land lnot 63 in
+      (* every byte of the 64-byte line shares the lock *)
+      List.for_all
+        (fun j -> Mtm.Lock_table.index_of t (line + j) = idx)
+        [ 0; 1; 7; 8; 63 ]
+      (* the table wraps: addresses 2^18 lines (= 2^24 bytes) apart
+         alias to the same entry, so false conflicts at that stride are
+         by design *)
+      && Mtm.Lock_table.index_of t (addr + (1 lsl 24)) = idx
+      (* adjacent lines take adjacent entries (range striding, not
+         hashing): a contiguous write set occupies contiguous locks *)
+      && Mtm.Lock_table.index_of t (line + 64)
+         = (idx + 1) land (Mtm.Lock_table.entries t - 1))
+
+let prop_lock_acquire_reentrant =
+  QCheck.Test.make ~name:"try_acquire: re-entrant for the owner, exclusive"
+    ~count:200
+    QCheck.(pair (int_bound 1000) (pair (int_bound 6) (int_bound 6)))
+    (fun (idx, (o1, o2)) ->
+      QCheck.assume (o1 <> o2);
+      let t = Mtm.Lock_table.create ~bits:10 () in
+      let open Mtm.Lock_table in
+      try_acquire t idx ~owner:o1
+      && try_acquire t idx ~owner:o1 (* re-entrant *)
+      && (not (try_acquire t idx ~owner:o2))
+      && owner t idx = o1
+      &&
+      (release t idx;
+       owner t idx = -1 && try_acquire t idx ~owner:o2))
+
+let prop_lock_release_versioned =
+  QCheck.Test.make
+    ~name:"release_versioned publishes; abort release preserves" ~count:200
+    QCheck.(pair (int_bound 1000) (pair (int_bound 10_000) (int_bound 10_000)))
+    (fun (idx, (v1, v2)) ->
+      let t = Mtm.Lock_table.create ~bits:10 () in
+      let open Mtm.Lock_table in
+      (* commit: the new version becomes visible exactly at release *)
+      ignore (try_acquire t idx ~owner:0);
+      let before = version t idx in
+      let mid = version t idx = before in
+      release_versioned t idx ~version:v1;
+      let committed = version t idx = v1 && owner t idx = -1 in
+      (* abort: lock released, version untouched — concurrent readers
+         that validated against v1 stay valid *)
+      ignore (try_acquire t idx ~owner:1);
+      release t idx;
+      mid && committed && version t idx = v1 && owner t idx = -1
+      && (ignore v2; true))
+
+(* ------------------------------------------------------------------ *)
+(* Abort-path interleavings: the satellite audits of the schedule-
+   exploration PR, pinned as deterministic sim tests *)
+
+(* Abort releases write locks without bumping versions.  Under eager
+   undo the aborting writer has dirty values sitting in memory until
+   rollback; a concurrent reader must never return one.  (Safe because
+   [load] delays before reading and re-checks the owner after: a lock
+   held at any point in that window aborts the read.) *)
+let test_undo_abort_no_dirty_read () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of ~config:undo_cfg pmem in
+      let data = data_region pmem 4096 in
+      let v = Region.Pmem.default_view pmem in
+      Region.Pmem.wtstore v data 100L;
+      Region.Pmem.fence v;
+      let sim = Sim.create () in
+      let observed = ref [] in
+      Sim.spawn sim (fun () ->
+          let th = Mtm.Txn.thread pool 0 (sim_env sim m) in
+          for _ = 1 to 10 do
+            (try
+               Mtm.Txn.run th (fun tx ->
+                   Mtm.Txn.store tx data 200L;
+                   (* dirty value is in place; dawdle, then abort *)
+                   Sim.delay sim 3_000;
+                   failwith "abort")
+             with Failure _ -> ());
+            Sim.delay sim 500
+          done);
+      Sim.spawn sim (fun () ->
+          let th = Mtm.Txn.thread pool 1 (sim_env sim m) in
+          for _ = 1 to 40 do
+            observed :=
+              Mtm.Txn.run th (fun tx -> Mtm.Txn.load tx data) :: !observed;
+            Sim.delay sim 700
+          done);
+      Sim.run sim;
+      Alcotest.(check int) "reader observations" 40 (List.length !observed);
+      List.iter
+        (fun x ->
+          if x <> 100L then
+            Alcotest.failf "reader saw dirty/aborted value %Ld" x)
+        !observed;
+      Alcotest.(check int64) "rollbacks all landed" 100L
+        (Region.Pmem.load v data))
+
+(* The abort release must actually free the lock: a second writer
+   contending with a serial aborter makes progress and wins. *)
+let test_abort_releases_locks () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 4096 in
+      let sim = Sim.create () in
+      Sim.spawn sim (fun () ->
+          let th = Mtm.Txn.thread pool 0 (sim_env sim m) in
+          try
+            Mtm.Txn.run th (fun tx ->
+                Mtm.Txn.store tx data 1L;
+                Sim.delay sim 5_000;
+                failwith "abort")
+          with Failure _ -> ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 100;
+          let th = Mtm.Txn.thread pool 1 (sim_env sim m) in
+          Mtm.Txn.run th (fun tx -> Mtm.Txn.store tx data 2L));
+      Sim.run sim;
+      let v = Region.Pmem.default_view pmem in
+      Alcotest.(check int64) "second writer won through" 2L
+        (Region.Pmem.load v data);
+      Alcotest.(check int) "exactly the second committed" 1
+        (Mtm.Txn.stats pool).commits)
+
+(* The extend path: a read that finds a version newer than [rv] must
+   revalidate and extend rather than abort, and the value returned must
+   be the newly committed one (never a mix). *)
+let test_read_extends_past_concurrent_commit () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of pmem in
+      let data = data_region pmem 4096 in
+      let got = ref (0L, 0L) in
+      let sim = Sim.create () in
+      Sim.spawn sim (fun () ->
+          let th = Mtm.Txn.thread pool 0 (sim_env sim m) in
+          got :=
+            Mtm.Txn.run th (fun tx ->
+                let a = Mtm.Txn.load tx data in
+                (* writer commits (data + 512) here, at a timestamp
+                   past this transaction's rv *)
+                Sim.delay sim 10_000;
+                (a, Mtm.Txn.load tx (data + 512))));
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 2_000;
+          let th = Mtm.Txn.thread pool 1 (sim_env sim m) in
+          Mtm.Txn.run th (fun tx -> Mtm.Txn.store tx (data + 512) 9L));
+      Sim.run sim;
+      Alcotest.(check (pair int64 int64))
+        "snapshot extended to the new commit" (0L, 9L) !got;
+      Alcotest.(check int) "no aborts needed" 0 (Mtm.Txn.stats pool).aborts)
+
+(* ------------------------------------------------------------------ *)
 (* Allocation budget *)
 
 (* Regression guard for the allocation-free commit pipeline: a
@@ -807,6 +971,21 @@ let () =
           Alcotest.test_case "concurrent counter" `Quick
             test_undo_concurrent_counter;
           Alcotest.test_case "rejects async" `Quick test_undo_rejects_async;
+        ] );
+      ( "lock table",
+        [
+          QCheck_alcotest.to_alcotest prop_lock_striding;
+          QCheck_alcotest.to_alcotest prop_lock_acquire_reentrant;
+          QCheck_alcotest.to_alcotest prop_lock_release_versioned;
+        ] );
+      ( "abort interleavings",
+        [
+          Alcotest.test_case "undo abort: no dirty read" `Quick
+            test_undo_abort_no_dirty_read;
+          Alcotest.test_case "abort releases locks" `Quick
+            test_abort_releases_locks;
+          Alcotest.test_case "read extends past concurrent commit" `Quick
+            test_read_extends_past_concurrent_commit;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_sequential_txns_match_model ] );

@@ -176,6 +176,134 @@ let test_determinism () =
   in
   Alcotest.(check string) "identical traces" (run ()) (run ())
 
+(* ------------------------------------------------------------------ *)
+(* Schedule policies, trace save/load, replay divergence *)
+
+(* Six processes all due at the same instant: the policy owns the
+   order. *)
+let order_under schedule =
+  let sim = Sim.create ~schedule () in
+  let order = ref [] in
+  for i = 1 to 6 do
+    Sim.spawn sim (fun () ->
+        Sim.delay sim 10;
+        order := i :: !order)
+  done;
+  Sim.run sim;
+  List.rev !order
+
+let test_fifo_schedule_identical () =
+  Alcotest.(check (list int))
+    "explicit fifo = historical order" [ 1; 2; 3; 4; 5; 6 ]
+    (order_under (Sim.Schedule.fifo ()))
+
+let check_policy_permutes policy =
+  let mk seed = Sim.Schedule.make ~seed policy in
+  let o1 = order_under (mk 1) in
+  Alcotest.(check (list int)) "same seed reproduces" o1 (order_under (mk 1));
+  Alcotest.(check (list int))
+    "a permutation: contents unchanged" [ 1; 2; 3; 4; 5; 6 ]
+    (List.sort compare o1);
+  let some_differ =
+    List.exists (fun s -> order_under (mk s) <> o1) [ 2; 3; 4; 5; 6; 7 ]
+  in
+  Alcotest.(check bool) "seeds disagree on the order" true some_differ
+
+let test_shuffle_permutes () =
+  check_policy_permutes Sim.Schedule.Seeded_shuffle
+
+let test_priority_permutes () = check_policy_permutes Sim.Schedule.Priority
+
+let load_ok path =
+  match Sim.Schedule.load path with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+(* A workload whose control flow depends on schedule-routed rng draws:
+   replay must reproduce both the event order and the draws. *)
+let draw_workload schedule =
+  let sim = Sim.create ~schedule () in
+  let trace = Buffer.create 64 in
+  for i = 1 to 4 do
+    Sim.spawn sim (fun () ->
+        Sim.delay sim 10;
+        let d = Sim.Schedule.draw schedule ~bound:50 in
+        Buffer.add_string trace
+          (Printf.sprintf "%d:%d@%d;" i d (Sim.now sim));
+        Sim.delay sim (10 + d);
+        Buffer.add_string trace (Printf.sprintf "%d@%d;" i (Sim.now sim)))
+  done;
+  Sim.run sim;
+  Buffer.contents trace
+
+let test_schedule_replay_roundtrip () =
+  let rec_sched = Sim.Schedule.make ~seed:9 Sim.Schedule.Seeded_shuffle in
+  let recorded = draw_workload rec_sched in
+  Sim.Schedule.set_meta rec_sched "shape" "test";
+  let path = Filename.temp_file "sched" ".trace" in
+  Sim.Schedule.save rec_sched path;
+  let loaded = load_ok path in
+  Sys.remove path;
+  Alcotest.(check bool) "loaded schedule replays" true
+    (Sim.Schedule.is_replay loaded);
+  Alcotest.(check (option string))
+    "meta survives the round trip" (Some "test")
+    (Sim.Schedule.meta loaded "shape");
+  Alcotest.(check string) "bit-exact replay" recorded (draw_workload loaded);
+  Alcotest.(check int) "nothing left over" 0
+    (Sim.Schedule.replay_leftover loaded);
+  Alcotest.(check int) "nothing invented" 0 (Sim.Schedule.replay_extra loaded)
+
+let test_replay_outliving_trace_falls_back () =
+  (* Replay a run that makes more decisions than the recording (the
+     regression-trace-against-fixed-code situation): the schedule must
+     serve fresh draws past the end of the stream, not die, and count
+     them. *)
+  let run schedule rounds =
+    let sim = Sim.create ~schedule () in
+    for _ = 1 to 3 do
+      Sim.spawn sim (fun () ->
+          for _ = 1 to rounds do
+            Sim.delay sim 10;
+            ignore (Sim.Schedule.draw schedule ~bound:8)
+          done)
+    done;
+    Sim.run sim
+  in
+  let rec_sched = Sim.Schedule.make ~seed:3 Sim.Schedule.Seeded_shuffle in
+  run rec_sched 2;
+  let path = Filename.temp_file "sched" ".trace" in
+  Sim.Schedule.save rec_sched path;
+  let loaded = load_ok path in
+  Sys.remove path;
+  run loaded 4;
+  Alcotest.(check int) "recorded stream fully consumed" 0
+    (Sim.Schedule.replay_leftover loaded);
+  Alcotest.(check bool) "fresh decisions counted" true
+    (Sim.Schedule.replay_extra loaded > 0)
+
+let test_draw_bound_mismatch_falls_back () =
+  let rec_sched = Sim.Schedule.make ~seed:5 Sim.Schedule.Seeded_shuffle in
+  for _ = 1 to 4 do
+    ignore (Sim.Schedule.draw rec_sched ~bound:8)
+  done;
+  let path = Filename.temp_file "sched" ".trace" in
+  Sim.Schedule.save rec_sched path;
+  let loaded = load_ok path in
+  Sys.remove path;
+  ignore (Sim.Schedule.draw loaded ~bound:8);
+  Alcotest.(check int) "matching draw consumed" 0
+    (Sim.Schedule.replay_extra loaded);
+  let v = Sim.Schedule.draw loaded ~bound:9 in
+  Alcotest.(check bool) "mismatched draw in caller's range" true
+    (v >= 0 && v < 9);
+  Alcotest.(check int) "mismatch counted" 1 (Sim.Schedule.replay_extra loaded);
+  ignore (Sim.Schedule.draw loaded ~bound:8);
+  Alcotest.(check int) "stream stays abandoned after a mismatch" 2
+    (Sim.Schedule.replay_extra loaded);
+  Alcotest.(check bool) "abandoned draws reported as leftover" true
+    (Sim.Schedule.replay_leftover loaded > 0)
+
 let prop_delays_accumulate =
   QCheck.Test.make ~name:"sum of delays equals final clock" ~count:100
     QCheck.(list (int_bound 1000))
@@ -209,6 +337,21 @@ let () =
         [
           Alcotest.test_case "group commit pattern" `Quick
             test_cond_group_commit_pattern;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "explicit fifo identical" `Quick
+            test_fifo_schedule_identical;
+          Alcotest.test_case "shuffle permutes deterministically" `Quick
+            test_shuffle_permutes;
+          Alcotest.test_case "priority permutes deterministically" `Quick
+            test_priority_permutes;
+          Alcotest.test_case "save/load/replay round trip" `Quick
+            test_schedule_replay_roundtrip;
+          Alcotest.test_case "replay outliving trace falls back" `Quick
+            test_replay_outliving_trace_falls_back;
+          Alcotest.test_case "draw bound mismatch falls back" `Quick
+            test_draw_bound_mismatch_falls_back;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_delays_accumulate ]);
     ]
