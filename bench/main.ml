@@ -120,6 +120,46 @@ let json_check_baseline file ~max_regress_pct =
     !json_sections;
   List.rev !failures
 
+(* The simulated-time and allocation figures are deterministic, not
+   statistical: the harness never installs the sanitizer, so a
+   sanitizer-disabled build must reproduce the committed baseline's
+   sim figures bit-for-bit (at the "%.6g" precision the JSON carries)
+   and hold the default commit case inside its minor-word allocation
+   budget.  Drift here means modeled behaviour changed — a much
+   stronger claim than the throughput gate above, which only bounds
+   host-CPU noise. *)
+let minor_words_budget = 512.0
+
+let json_check_invariants file =
+  let text = In_channel.with_open_text file In_channel.input_all in
+  let failures = ref [] in
+  List.iter
+    (fun (section, kvs) ->
+      List.iter
+        (fun (key, cur) ->
+          (if key = "sim_us_per_commit" then
+             match json_find ~section ~key text with
+             | Some base
+               when Printf.sprintf "%.6g" base <> Printf.sprintf "%.6g" cur ->
+                 failures :=
+                   Printf.sprintf
+                     "%s.%s: simulated figure %.6g differs from baseline %.6g"
+                     section key cur base
+                   :: !failures
+             | Some _ | None -> ());
+          if
+            key = "minor_words_per_commit" && section = "commit"
+            && cur > minor_words_budget
+          then
+            failures :=
+              Printf.sprintf
+                "%s.%s: %.1f minor words/commit exceeds the %.0f-word budget"
+                section key cur minor_words_budget
+              :: !failures)
+        kvs)
+    !json_sections;
+  List.rev !failures
+
 let fresh_dir =
   let n = ref 0 in
   fun name ->
@@ -1460,21 +1500,24 @@ let () =
     (match !json_file with Some f -> json_write f | None -> ());
     match !baseline with
     | None -> ()
-    | Some f -> (
-        match json_check_baseline f ~max_regress_pct:!max_regress with
-        | [] ->
-            Printf.printf
-              "perf check: all throughput figures within %.0f%% of %s\n"
-              !max_regress f
-        | failures ->
-            List.iter
-              (fun (section, key, base, cur) ->
-                Printf.eprintf
-                  "perf REGRESSION: %s.%s fell %.1f%% (baseline %.0f, now \
-                   %.0f)\n"
-                  section key
-                  ((base -. cur) /. base *. 100.0)
-                  base cur)
-              failures;
-            exit 1)
+    | Some f ->
+        let broken = json_check_invariants f in
+        let failures = json_check_baseline f ~max_regress_pct:!max_regress in
+        List.iter
+          (fun m -> Printf.eprintf "perf INVARIANT BROKEN: %s\n" m)
+          broken;
+        List.iter
+          (fun (section, key, base, cur) ->
+            Printf.eprintf
+              "perf REGRESSION: %s.%s fell %.1f%% (baseline %.0f, now %.0f)\n"
+              section key
+              ((base -. cur) /. base *. 100.0)
+              base cur)
+          failures;
+        if broken = [] && failures = [] then
+          Printf.printf
+            "perf check: throughput within %.0f%% of %s; sim figures \
+             bit-identical; commit allocation budget held\n"
+            !max_regress f
+        else exit 1
   end

@@ -144,6 +144,8 @@ type cfg = {
   mtm : Mtm.Txn.config;
   fresh : bool;
   verbose : bool;
+  fsck : bool;  (* pmfsck every post-recovery image *)
+  pmcheck : bool;  (* durability sanitizer under every phase *)
 }
 
 let setup_dir cfg = Filename.concat cfg.base "setup"
@@ -163,6 +165,13 @@ let run_phase cfg ~dev ~dir ~seed ~crash_at ~updates =
   let cp = Cp.create () in
   (match crash_at with Some k -> Cp.arm cp ~at:k | None -> ());
   let machine = Scm.Env.machine_of_device ~seed ~obs ~crash_point:cp dev in
+  (* Install the sanitizer before recovery touches anything, so the
+     recovery path itself is checked too.  The handle outlives the
+     crash-time detach, so violations found before a crash are still
+     reported. *)
+  let chk =
+    if cfg.pmcheck then Some (Scm.Env.install_pmcheck machine) else None
+  in
   match
     let inst =
       Mnemosyne.open_instance ~geometry:cfg.geometry ~mtm:cfg.mtm ~seed
@@ -172,11 +181,45 @@ let run_phase cfg ~dev ~dir ~seed ~crash_at ~updates =
     if updates then run_updates inst ~seed:cfg.seed ~txns:cfg.txns;
     (inst, open_ops)
   with
-  | inst, open_ops -> (machine, obs, Done (inst, open_ops, Cp.count cp))
+  | inst, open_ops -> (machine, obs, chk, Done (inst, open_ops, Cp.count cp))
   | exception Cp.Simulated_crash { op; kind } ->
       Obs.instant obs (Obs.Trace.Phase "simulated-crash") ~arg:op;
       Scm.Crash.inject machine;
-      (machine, obs, Crashed (op, kind))
+      (machine, obs, chk, Crashed (op, kind))
+
+(* The sanitizer's verdict for one phase: None when it was off or
+   silent. *)
+let sanitizer_msg chk =
+  match chk with
+  | None -> None
+  | Some chk ->
+      let total = Scm.Pmcheck.total_violations chk in
+      if total = 0 then None
+      else
+        let shown =
+          List.filteri (fun i _ -> i < 5) (Scm.Pmcheck.violations chk)
+        in
+        Some
+          (Printf.sprintf "pmcheck: %d violation(s): %s" total
+             (String.concat "; " (List.map Scm.Pmcheck.render shown)))
+
+(* The full per-phase verdict: workload invariant, then the sanitizer,
+   then (when enabled) a pmfsck pass over the recovered image. *)
+let verify_phase cfg inst ~chk =
+  match verify inst ~seed:cfg.seed with
+  | Error _ as e -> e
+  | Ok c -> (
+      match sanitizer_msg chk with
+      | Some msg -> Error msg
+      | None ->
+          if not cfg.fsck then Ok c
+          else
+            let report = Check.Pmfsck.run (Mnemosyne.view inst) in
+            if Check.Pmfsck.ok report then Ok c
+            else
+              Error
+                (Printf.sprintf "pmfsck: %s"
+                   (String.trim (Check.Pmfsck.render report))))
 
 let dump_trace cfg ~obs ~name =
   match obs.Obs.trace with
@@ -282,25 +325,31 @@ let recover_and_verify cfg ~dev ~crash_at ~updates ~primary_op =
     run_phase cfg ~dev ~dir:(run_dir cfg) ~seed:(cfg.seed + 1)
       ~crash_at ~updates
   with
-  | _, obs, Crashed (op2, _) -> (
-      (* crashed again: recover a second time, disarmed *)
-      match
-        run_phase cfg ~dev ~dir:(run_dir cfg) ~seed:(cfg.seed + 2)
-          ~crash_at:None ~updates:false
-      with
-      | _, obs2, Done (inst, _, _) -> (
-          match verify inst ~seed:cfg.seed with
-          | Ok c -> Ok (c, 0)
-          | Error msg ->
-              report_failure cfg ~obs:obs2
-                { op = primary_op; second = Some op2; msg };
-              Error { op = primary_op; second = Some op2; msg })
-      | _, _, Crashed _ ->
-          let msg = "disarmed recovery raised Simulated_crash" in
-          report_failure cfg ~obs { op = primary_op; second; msg };
-          Error { op = primary_op; second; msg })
-  | _, obs, Done (inst, _, total) -> (
-      match verify inst ~seed:cfg.seed with
+  | _, obs, chk1, Crashed (op2, _) -> (
+      match sanitizer_msg chk1 with
+      | Some msg ->
+          (* violations before the second crash are real violations *)
+          report_failure cfg ~obs { op = primary_op; second = Some op2; msg };
+          Error { op = primary_op; second = Some op2; msg }
+      | None -> (
+          (* crashed again: recover a second time, disarmed *)
+          match
+            run_phase cfg ~dev ~dir:(run_dir cfg) ~seed:(cfg.seed + 2)
+              ~crash_at:None ~updates:false
+          with
+          | _, obs2, chk2, Done (inst, _, _) -> (
+              match verify_phase cfg inst ~chk:chk2 with
+              | Ok c -> Ok (c, 0)
+              | Error msg ->
+                  report_failure cfg ~obs:obs2
+                    { op = primary_op; second = Some op2; msg };
+                  Error { op = primary_op; second = Some op2; msg })
+          | _, _, _, Crashed _ ->
+              let msg = "disarmed recovery raised Simulated_crash" in
+              report_failure cfg ~obs { op = primary_op; second; msg };
+              Error { op = primary_op; second; msg }))
+  | _, obs, chk, Done (inst, _, total) -> (
+      match verify_phase cfg inst ~chk with
       | Ok c -> Ok (c, total)
       | Error msg ->
           let f = { op = primary_op; second; msg } in
@@ -316,7 +365,7 @@ let sample_indices ~upto ~n =
 
 let explore_point cfg ~work ~mark0 ~k ~second =
   let dev = fresh_point_state cfg ~work ~mark0 in
-  let machine, obs1, outcome =
+  let machine, obs1, chk1, outcome =
     run_phase cfg ~dev ~dir:(run_dir cfg) ~seed:cfg.seed ~crash_at:(Some k)
       ~updates:true
   in
@@ -325,7 +374,7 @@ let explore_point cfg ~work ~mark0 ~k ~second =
   | Done (inst, _, total) -> (
       (* k lies beyond the end of the run; nothing crashed.  Verify the
          completed state anyway so --at with a large index is useful. *)
-      match verify inst ~seed:cfg.seed with
+      match verify_phase cfg inst ~chk:chk1 with
       | Ok c ->
           if cfg.verbose then
             Printf.printf "op %d: run completed (%d ops total), %d txns OK\n"
@@ -337,6 +386,13 @@ let explore_point cfg ~work ~mark0 ~k ~second =
           [ f ])
   | Crashed (op, kind) -> (
       let failures = ref [] in
+      (* violations accumulated before the crash are real violations *)
+      (match sanitizer_msg chk1 with
+      | Some msg ->
+          let f = { op; second = None; msg } in
+          report_failure cfg ~obs:obs1 f;
+          failures := f :: !failures
+      | None -> ());
       let note_fail ~obs f =
         ignore obs;
         failures := f :: !failures
@@ -414,8 +470,8 @@ let count_ops cfg ~work ~mark0 =
     run_phase cfg ~dev ~dir:(run_dir cfg) ~seed:cfg.seed ~crash_at:None
       ~updates:true
   with
-  | _, _, Done (inst, open_ops, total) -> (
-      match verify inst ~seed:cfg.seed with
+  | _, _, chk, Done (inst, open_ops, total) -> (
+      match verify_phase cfg inst ~chk with
       | Ok c when c = cfg.txns -> (open_ops, total)
       | Ok c ->
           Printf.eprintf
@@ -426,7 +482,7 @@ let count_ops cfg ~work ~mark0 =
           Printf.eprintf
             "crash_explore: crash-free run fails verification: %s\n" msg;
           exit 2)
-  | _, _, Crashed _ ->
+  | _, _, _, Crashed _ ->
       Printf.eprintf "crash_explore: disarmed counting run crashed\n";
       exit 2
 
@@ -446,8 +502,40 @@ let select_points ~total ~from_ ~to_ ~stride ~max_points =
     go [] lo
   end
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Machine-readable sweep outcome, for CI artifacts. *)
+let write_report cfg ~path ~points ~failures =
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc
+        "{\"seed\":%d,\"txns\":%d,\"fsck\":%b,\"pmcheck\":%b,\"points\":%d,\
+         \"failures\":["
+        cfg.seed cfg.txns cfg.fsck cfg.pmcheck points;
+      List.iteri
+        (fun i f ->
+          if i > 0 then output_char oc ',';
+          Printf.fprintf oc "{\"op\":%d,%s\"msg\":\"%s\"}" f.op
+            (match f.second with
+            | Some j -> Printf.sprintf "\"second\":%d," j
+            | None -> "")
+            (json_escape f.msg))
+        failures;
+      output_string oc "]}\n")
+
 let run txns seed dir from_ to_ stride max_points at second_at second fresh
-    count_only verbose =
+    count_only verbose fsck pmcheck report =
   let geometry =
     { Mnemosyne.scm_frames = 2048; heap_superblocks = 64;
       heap_large_bytes = 256 * 1024 }
@@ -455,7 +543,9 @@ let run txns seed dir from_ to_ stride max_points at second_at second fresh
   let mtm =
     { Mtm.Txn.default_config with nthreads = 1; log_cap_words = 8192 }
   in
-  let cfg = { seed; txns; base = dir; geometry; mtm; fresh; verbose } in
+  let cfg =
+    { seed; txns; base = dir; geometry; mtm; fresh; verbose; fsck; pmcheck }
+  in
   ensure_dir cfg.base;
   let work =
     if fresh then Scm.Scm_device.create ~nframes:geometry.scm_frames ()
@@ -500,6 +590,10 @@ let run txns seed dir from_ to_ stride max_points at second_at second fresh
           Printf.printf "  ... %d/%d points, %d failure(s)\n%!" !explored
             (List.length points) (List.length !failures))
       points;
+    (match report with
+    | Some path ->
+        write_report cfg ~path ~points:!explored ~failures:!failures
+    | None -> ());
     if !failures = [] then begin
       Printf.printf
         "all %d crash points recovered to a state consistent with their \
@@ -586,6 +680,29 @@ let count_only =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-point log.")
 
+let fsck =
+  Arg.(
+    value & flag
+    & info [ "fsck" ]
+        ~doc:
+          "Run the offline image analyzer (pmfsck) over every recovered \
+           image; any finding fails the point.")
+
+let pmcheck =
+  Arg.(
+    value & flag
+    & info [ "pmcheck" ]
+        ~doc:
+          "Run every phase under the durability sanitizer; any violation \
+           fails the point.")
+
+let report =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:"Write a JSON report of the sweep (points, failures) to FILE.")
+
 let cmd =
   Cmd.v
     (Cmd.info "crash_explore"
@@ -594,6 +711,7 @@ let cmd =
           section 6.2, exhaustively)")
     Term.(
       const run $ txns $ seed $ dir $ from_ $ to_ $ stride $ max_points $ at
-      $ second_at $ second $ fresh $ count_only $ verbose)
+      $ second_at $ second $ fresh $ count_only $ verbose $ fsck $ pmcheck
+      $ report)
 
 let () = exit (Cmd.eval' cmd)

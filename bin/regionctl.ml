@@ -6,6 +6,7 @@
 
    Usage: regionctl DIR            full inspection (default command)
           regionctl stats DIR      occupancy summary: regions, heap, logs
+          regionctl fsck DIR       offline consistency analysis (pmfsck)
 *)
 
 open Cmdliner
@@ -131,6 +132,22 @@ let run_stats dir =
     0
   end
 
+(* fsck: open the instance (recovery runs first, exactly as a restart
+   would), then analyze the recovered image read-only. *)
+let run_fsck dir json =
+  if not (Sys.file_exists dir) then begin
+    Printf.eprintf "regionctl: no instance at %s\n" dir;
+    1
+  end
+  else begin
+    let inst = Mnemosyne.open_instance ~dir () in
+    let report = Check.Pmfsck.run (Mnemosyne.view inst) in
+    if json then print_endline (Check.Pmfsck.to_json report)
+    else print_string (Check.Pmfsck.render report);
+    (* No [close]: fsck must leave the image exactly as it found it. *)
+    if Check.Pmfsck.ok report then 0 else 2
+  end
+
 let dir =
   Arg.(
     required
@@ -155,10 +172,23 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Region, heap and log occupancy summary")
     Term.(const run_stats $ dir)
 
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Print the report as JSON instead of text.")
+
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Offline consistency analysis of the instance's persistent image \
+          (read-only; exits non-zero on findings)")
+    Term.(const run_fsck $ dir $ json)
+
 let cmd =
   Cmd.group ~default:inspect_term
     (Cmd.info "regionctl" ~doc:"Inspect a Mnemosyne instance")
-    [ inspect_cmd; stats_cmd ]
+    [ inspect_cmd; stats_cmd; fsck_cmd ]
 
 (* Back-compat: `regionctl DIR` (no subcommand) still inspects. *)
 let () =
@@ -166,7 +196,7 @@ let () =
     let a = Sys.argv in
     if
       Array.length a > 1
-      && (not (List.mem a.(1) [ "inspect"; "stats" ]))
+      && (not (List.mem a.(1) [ "inspect"; "stats"; "fsck" ]))
       && String.length a.(1) > 0
       && a.(1).[0] <> '-'
     then

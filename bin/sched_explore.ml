@@ -149,8 +149,8 @@ let run_sweep ~cfg0 ~policies ~seeds ~seed0 ~verbose =
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 
-let run seeds seed0 policy threads txns slots undo zero_lat trace record
-    replay dir verbose =
+let run seeds seed0 policy threads txns slots undo zero_lat trace pmcheck
+    record replay dir verbose =
   let cfg0 =
     {
       (H.default_cfg ~dir) with
@@ -160,6 +160,7 @@ let run seeds seed0 policy threads txns slots undo zero_lat trace record
       undo;
       zero_lat;
       trace;
+      pmcheck;
       seed = seed0;
     }
   in
@@ -227,6 +228,14 @@ let trace =
     & info [ "trace" ]
         ~doc:"Record an observability trace (schedule decisions included).")
 
+let pmcheck =
+  Arg.(
+    value & flag
+    & info [ "pmcheck" ]
+        ~doc:
+          "Run every schedule under the durability sanitizer; sanitizer \
+           violations fail the run like serializability violations do.")
+
 let record =
   Arg.(
     value
@@ -258,6 +267,6 @@ let cmd =
           run for conflict serializability")
     Term.(
       const run $ seeds $ seed0 $ policy $ threads $ txns $ slots $ undo
-      $ zero_lat $ trace $ record $ replay $ dir $ verbose)
+      $ zero_lat $ trace $ pmcheck $ record $ replay $ dir $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,78 @@
+(** pmfsck: offline consistency analysis of persistent region images.
+
+    A static analyzer in the fsck tradition: it walks every piece of
+    persistent metadata the stack maintains — the region table, the
+    [pstatic] directory, the heap's superblock bitmaps and large-chunk
+    boundary tags, the data structures rooted in static slots, and the
+    RAWL log headers — and cross-checks them against each other,
+    reporting typed findings instead of repairing anything.
+
+    The walk is strictly read-only: every word is read through the
+    non-faulting {!Region.Pmem.load_nt} path, so a pass never allocates
+    a cache line, never faults a page in, and never writes the backing
+    store (a property the test suite pins with
+    {!Region.Backing_store.global_mutations}).  It is safe on arbitrary
+    images, including ones recovered from a mid-crash device state.
+
+    Run it on any opened instance's view:
+    [regionctl fsck <dir>] from the command line, or every
+    post-recovery image of a crash-schedule sweep via
+    [crash_explore --fsck]. *)
+
+type kind =
+  | Region_table
+      (** Region-table/[pstatic]-directory damage: bad magic, invalid
+          flags, out-of-range or overlapping extents, unresolved pmap
+          intents that survived recovery. *)
+  | Heap_chain
+      (** Large-area boundary-tag damage: a chunk header whose size is
+          implausible or runs past the area, or a footer that
+          contradicts its header. *)
+  | Heap_bitmap
+      (** Superblock damage: an invalid header word, allocation bits
+          beyond the class's block count, or allocation bits in an
+          unassigned superblock. *)
+  | Leak
+      (** An allocated heap block unreachable from any persistent root
+          by conservative mark-sweep over the [pstatic] directory. *)
+  | Pstruct
+      (** A structure invariant broken inside a rooted persistent data
+          structure (hash-table bucket chains, B+ tree ordering and
+          occupancy). *)
+  | Log_header
+      (** A RAWL header that cannot be right: implausible capacity,
+          capacity overrunning the log's region, or a head offset
+          outside the buffer.  Torn record tails are {e not} findings —
+          recovery discards them by design. *)
+
+val kind_name : kind -> string
+(** Stable snake_case name, used in counters and JSON. *)
+
+type finding = { kind : kind; addr : int; detail : string }
+
+type stats = {
+  regions : int;  (** Valid region-table extents. *)
+  pstatics : int;  (** [pstatic] directory entries. *)
+  superblocks : int;
+  chunks : int;  (** Large-area chunks walked. *)
+  blocks : int;  (** Allocated heap blocks found. *)
+  reachable : int;  (** Of which reachable from persistent roots. *)
+  logs : int;  (** Log headers checked. *)
+  log_records : int;  (** Complete records in their suffixes. *)
+}
+
+type report = { findings : finding list; stats : stats }
+
+val run : Region.Pmem.view -> report
+(** Analyze the image behind the view.  Each finding also bumps the
+    [pmfsck.finding.<kind>] counter on the machine's {!Obs.t}. *)
+
+val ok : report -> bool
+(** No findings. *)
+
+val render : report -> string
+(** Human-readable multi-line summary (one line per finding). *)
+
+val to_json : report -> string
+(** The full report as a JSON object, for [--json] modes and CI
+    artifacts. *)

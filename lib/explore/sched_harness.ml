@@ -9,6 +9,7 @@ type cfg = {
   undo : bool;  (* Eager_undo instead of Lazy_redo *)
   zero_lat : bool;  (* zero software-overhead latency model *)
   trace : bool;
+  pmcheck : bool;  (* run under the durability sanitizer *)
   dir : string;
 }
 
@@ -22,6 +23,7 @@ let default_cfg ~dir =
     undo = false;
     zero_lat = false;
     trace = false;
+    pmcheck = false;
     dir;
   }
 
@@ -118,6 +120,10 @@ let run ?schedule cfg =
     Mnemosyne.prepare_machine ~geometry ~latency:lat ~seed:cfg.seed ~obs
       ~dir:idir ()
   in
+  (* Installed before recovery so every page mapping is observed. *)
+  let chk =
+    if cfg.pmcheck then Some (Scm.Env.install_pmcheck machine) else None
+  in
   let inst =
     Mnemosyne.open_instance ~geometry ~latency:lat ~mtm:(mtm_config cfg)
       ~seed:cfg.seed ~machine ~dir:idir ()
@@ -179,6 +185,12 @@ let run ?schedule cfg =
       ~initial:(fun _ -> 0L)
       ~final:(fun addr -> Pmem.load_nt view addr)
   in
+  let violations =
+    match chk with
+    | None -> violations
+    | Some chk ->
+        violations @ List.map Scm.Pmcheck.render (Scm.Pmcheck.violations chk)
+  in
   let stats = Mtm.Txn.stats pool in
   {
     schedule = sched;
@@ -203,6 +215,7 @@ let save_schedule outcome cfg path =
   Sim.Schedule.set_meta s "nslots" (string_of_int cfg.nslots);
   Sim.Schedule.set_meta s "undo" (if cfg.undo then "1" else "0");
   Sim.Schedule.set_meta s "zero_lat" (if cfg.zero_lat then "1" else "0");
+  Sim.Schedule.set_meta s "pmcheck" (if cfg.pmcheck then "1" else "0");
   Sim.Schedule.save s path
 
 let cfg_of_schedule ~dir sched =
@@ -221,4 +234,5 @@ let cfg_of_schedule ~dir sched =
     nslots = geti "nslots" d.nslots;
     undo = Sim.Schedule.meta sched "undo" = Some "1";
     zero_lat = Sim.Schedule.meta sched "zero_lat" = Some "1";
+    pmcheck = Sim.Schedule.meta sched "pmcheck" = Some "1";
   }

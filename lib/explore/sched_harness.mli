@@ -22,6 +22,10 @@ type cfg = {
           tie the policy gets to order.  The adversarial mode — races
           whose windows the default costs keep closed open up here. *)
   trace : bool;  (** Record an observability trace during the run. *)
+  pmcheck : bool;
+      (** Install the {!Scm.Pmcheck} durability sanitizer before the
+          run; any violations it records are appended (rendered) to the
+          outcome's [violations]. *)
   dir : string;  (** Scratch instance directory (reset on each run). *)
 }
 

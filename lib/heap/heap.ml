@@ -105,6 +105,7 @@ let attach v ~base =
 
 let set_exclusion t f = t.exclusion <- f
 let reincarnation t = t.reincarnation
+let base t = t.base
 
 let excl t f =
   let result = ref None in

@@ -92,3 +92,26 @@ val occupancy : t -> occupancy
     Allocations and frees also feed the [heap.allocs]/[heap.frees]
     counters and emit [Heap_alloc]/[Heap_free] trace events on the
     machine's {!Obs.t}. *)
+
+(** {1 On-SCM geometry introspection}
+
+    The persistent layout of a heap image, exposed for the offline
+    analyzer ({!Check.Pmfsck}): header page (magic at [base],
+    superblock count at [sb_count_addr], large-area length at
+    [large_len_addr]), then the allocation log at [alog_base], the
+    superblock area at [sb_area_base], and the large area directly
+    after the superblocks. *)
+
+val base : t -> int
+val magic : int64
+val header_page : int
+(** Bytes of the header page (4096). *)
+
+val alog_bytes : int
+(** Bytes reserved for the allocation log. *)
+
+val sb_count_addr : int -> int
+val large_len_addr : int -> int
+val alog_base : int -> int
+val sb_area_base : int -> int
+(** Each takes the heap [base]. *)

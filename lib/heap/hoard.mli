@@ -92,3 +92,20 @@ val block_size_of : t -> int -> int
 val free_blocks_in_class : t -> int -> int
 val assigned_superblocks : t -> int
 val superblocks_scanned : t -> int
+
+(** {1 On-SCM format introspection}
+
+    The persistent superblock layout, exposed for the offline analyzer
+    ({!Check.Pmfsck}): a header word at the superblock base, then
+    {!bitmap_words} bitmap words, then padding up to {!header_bytes},
+    then the block array. *)
+
+val header_bytes : int
+val bitmap_words : int
+
+val unpack_header : int64 -> int option
+(** The block size, if the word is a valid superblock header (magic in
+    the top byte, a real size class in the low bits). *)
+
+val blocks_per : int -> int
+(** Blocks a superblock of that class holds. *)

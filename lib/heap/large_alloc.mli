@@ -36,3 +36,14 @@ val payload_size_of : t -> int -> int
 val free_bytes : t -> int
 val chunks_scanned : t -> int
 (** Chunks examined by the last {!attach}. *)
+
+(** {1 On-SCM format introspection}
+
+    Boundary-tag words, exposed for the offline analyzer
+    ({!Check.Pmfsck}): each chunk starts with a header word and ends
+    with a footer word holding the chunk size. *)
+
+val hdr_size : int64 -> int
+val hdr_used : int64 -> bool
+val footer_addr : int -> int -> int
+(** [footer_addr chunk size] is the chunk's footer-word address. *)

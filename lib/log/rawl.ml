@@ -107,8 +107,22 @@ let mk_counters v =
   ( Obs.Metrics.counter obs.Obs.metrics "log.appends",
     Obs.Metrics.counter obs.Obs.metrics "log.truncations" )
 
+(* Durability-sanitizer hooks: a registered log lets the checker verify
+   record durability (its WC-pending count) and catch truncations that
+   race un-fenced data.  One branch each when no sanitizer is
+   installed. *)
+let[@inline] pmchk (v : Pmem.view) = v.Pmem.env.Scm.Env.machine.Scm.Env.pmcheck
+
+let register_with_pmcheck v ~base ~cap_words =
+  match pmchk v with
+  | None -> ()
+  | Some chk ->
+      Scm.Pmcheck.register_log chk ~base
+        ~bytes:(region_bytes_for ~cap_words)
+
 let create ?(rotate_torn_bit = false) v ~base ~cap_words =
   if cap_words < 4 then invalid_arg "Rawl.create: capacity too small";
+  register_with_pmcheck v ~base ~cap_words;
   let append_ctr, trunc_ctr = mk_counters v in
   let t =
     {
@@ -266,6 +280,9 @@ let note_truncate t ~words =
 
 let truncate_all t =
   let words = used_words t in
+  (match pmchk t.v with
+  | None -> ()
+  | Some chk -> Scm.Pmcheck.note_truncate chk ~log:t.base ~all:true);
   if t.rotate && t.passes >= rotate_period then rotate_generation t
   else set_head t ~off:t.tail_off ~parity:t.tail_parity ~tpos:t.tail_tpos;
   note_truncate t ~words
@@ -273,6 +290,9 @@ let truncate_all t =
 let advance_head t ~words =
   if words < 0 || words > used_words t then
     invalid_arg "Rawl.advance_head: beyond tail";
+  (match pmchk t.v with
+  | None -> ()
+  | Some chk -> Scm.Pmcheck.note_truncate chk ~log:t.base ~all:false);
   let raw = t.head_off + words in
   (if raw >= t.cap then begin
      let parity, tpos = next_pass t ~parity:t.head_parity ~tpos:t.head_tpos in
@@ -289,6 +309,7 @@ exception Scan_end
 let attach v ~base =
   let cap, rotate = unpack_cap (Pmem.load v (base + 8)) in
   if cap < 4 then failwith "Rawl.attach: no log at this address";
+  register_with_pmcheck v ~base ~cap_words:cap;
   let head_off, head_parity, head_tpos = unpack_head (Pmem.load v base) in
   let append_ctr, trunc_ctr = mk_counters v in
   let t =

@@ -96,3 +96,22 @@ val advance_head : t -> words:int -> unit
 val used_words : t -> int
 val free_words : t -> int
 val capacity : t -> int
+
+(** {1 Read-only format introspection}
+
+    The on-SCM header/word formats, exposed for the offline image
+    analyzer ({!Check.Pmfsck}), which scans log images without a
+    handle and without mutating anything. *)
+
+val header_bytes : int
+(** Bytes before the circular buffer (head word, cap word, padding). *)
+
+val unpack_head : int64 -> int * int * int
+(** [(offset, pass_parity, torn_bit_position)] from a head word. *)
+
+val unpack_cap : int64 -> int * bool
+(** [(capacity_words, rotate_enabled)] from a cap word. *)
+
+val extract_torn : int64 -> int -> int64 * bool
+(** [extract_torn word tpos] splits a stored word into its 63 payload
+    bits and the torn bit at position [tpos]. *)

@@ -418,6 +418,12 @@ let load tx addr =
     end
   end
 
+(* Durability-sanitizer hooks: the commit protocol announces write-set
+   coverage so the checker can verify the write-ahead rule.  Each site
+   is one branch when no sanitizer is installed. *)
+let[@inline] pmchk th = th.view.Pmem.env.Scm.Env.machine.Scm.Env.pmcheck
+let[@inline] th_log_base th = th.pool.log_bases.(th.id)
+
 (* Stream one undo record ([addr, old value]) and fence: with eager
    version management "undo logging would require ordering a log write
    before every memory update" (paper section 5) — this fence is that
@@ -447,12 +453,25 @@ let store tx addr v =
     push_wlock tx.th idx
   end;
   match tx.th.pool.cfg.version_mgmt with
-  | Lazy_redo -> Wset.set tx.wset addr v
+  | Lazy_redo ->
+      (match pmchk tx.th with
+      | None -> ()
+      | Some chk -> Scm.Pmcheck.note_txn_store chk addr);
+      Wset.set tx.wset addr v
   | Eager_undo ->
       if not (Wset.mem tx.old_vals addr) then begin
+        (* a store's old-value read is transaction bookkeeping, not a
+           program read: clear the never-written mark before loading *)
+        (match pmchk tx.th with
+        | None -> ()
+        | Some chk -> Scm.Pmcheck.note_txn_store chk addr);
         let old = Pmem.load tx.th.view addr in
         Wset.set tx.old_vals addr old;
-        log_undo tx addr old
+        log_undo tx addr old;
+        (match pmchk tx.th with
+        | None -> ()
+        | Some chk ->
+            Scm.Pmcheck.note_covered chk ~log:(th_log_base tx.th) addr)
       end;
       (* eager: the new value goes straight to memory; isolation holds
          because the lock is owned until commit *)
@@ -493,6 +512,9 @@ let alloc tx size ~slot =
   if size <= Pmheap.Heap.small_limit then begin
     let resv = Pmheap.Heap.reserve_small ~arena:tx.th.id heap size in
     tx.resvs <- resv :: tx.resvs;
+    (match pmchk tx.th with
+    | None -> ()
+    | Some chk -> Scm.Pmcheck.mark_undef chk resv.addr ~len:size);
     (match resv.header_write with
     | Some (a, v) -> store tx a v
     | None -> ());
@@ -508,6 +530,9 @@ let alloc tx size ~slot =
        fallback, see DESIGN.md. *)
     let addr = Pmheap.Heap.pmalloc_raw heap size in
     tx.large_allocs <- addr :: tx.large_allocs;
+    (match pmchk tx.th with
+    | None -> ()
+    | Some chk -> Scm.Pmcheck.mark_undef chk addr ~len:size);
     store tx slot (Int64.of_int addr);
     addr
   end
@@ -631,6 +656,11 @@ let rollback tx =
       List.iter (fun resv -> Pmheap.Heap.cancel_small heap resv) tx.resvs;
       List.iter (fun addr -> Pmheap.Heap.pfree_raw heap addr) tx.large_allocs
   | None -> ());
+  (* close any sanitizer coverage the aborted attempt opened (undo
+     records, or a redo record staged by a commit that then died) *)
+  (match pmchk tx.th with
+  | None -> ()
+  | Some chk -> Scm.Pmcheck.commit_end chk ~log:(th_log_base tx.th));
   tx.th.pool.aborts <- tx.th.pool.aborts + 1
 
 (* A record that still does not fit after truncation can never fit:
@@ -710,9 +740,16 @@ let commit_redo tx =
     Wset.blit_value tx.wset slot enc (8 * ((2 * i) + 3))
   done;
   let t0 = env.Scm.Env.now () in
+  (match pmchk th with
+  | None -> ()
+  | Some chk ->
+      Scm.Pmcheck.commit_begin chk ~log:(th_log_base th) th.sorted n);
   let span = append_record tx enc ~len in
   let t1 = env.Scm.Env.now () in
   Pmlog.Rawl.flush th.log;  (* the durability point: one fence *)
+  (match pmchk th with
+  | None -> ()
+  | Some chk -> Scm.Pmcheck.commit_logged chk ~log:(th_log_base th));
   let t2 = env.Scm.Env.now () in
   for i = 0 to n - 1 do
     (* the ascending write-back reads each value back out of the staged
@@ -727,6 +764,9 @@ let commit_redo tx =
   | Async -> Queue.push { span; addrs = Array.sub th.sorted 0 n } th.pending_q);
   let t3 = env.Scm.Env.now () in
   release_locks tx ~committed:true ~version:cts;
+  (match pmchk th with
+  | None -> ()
+  | Some chk -> Scm.Pmcheck.commit_end chk ~log:(th_log_base th));
   (cts, t1 - t0, t2 - t1, t3 - t2)
 
 let commit_undo tx =
@@ -746,6 +786,9 @@ let commit_undo tx =
   Pmlog.Rawl.truncate_all th.log;
   let t2 = env.Scm.Env.now () in
   release_locks tx ~committed:true ~version:cts;
+  (match pmchk th with
+  | None -> ()
+  | Some chk -> Scm.Pmcheck.commit_end chk ~log:(th_log_base th));
   (cts, 0, t2 - t1, t1 - t0)
 
 (* The oracle's view of a committed transaction: first-read values, the

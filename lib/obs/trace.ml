@@ -16,6 +16,7 @@ type kind =
   | Swap_in
   | Swap_out
   | Sched_decision
+  | Pmcheck_violation
   | Phase of string
 
 let kind_name = function
@@ -36,6 +37,7 @@ let kind_name = function
   | Swap_in -> "Swap_in"
   | Swap_out -> "Swap_out"
   | Sched_decision -> "Sched_decision"
+  | Pmcheck_violation -> "Pmcheck_violation"
   | Phase s -> s
 
 let arg_label = function
@@ -48,6 +50,7 @@ let arg_label = function
   | Recovery_replay -> "ts"
   | Swap_in | Swap_out -> "frame"
   | Sched_decision -> "key"
+  | Pmcheck_violation -> "addr"
   | Phase _ -> "value"
 
 type event = { kind : kind; ts : int; dur : int; tid : int; arg : int }

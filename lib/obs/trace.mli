@@ -32,6 +32,9 @@ type kind =
   | Sched_decision
       (** A same-time tiebreak drawn by the schedule explorer; the
           argument is the chosen key (see {!Sim.Schedule}). *)
+  | Pmcheck_violation
+      (** The durability sanitizer detected a rule violation; the
+          argument is the offending virtual word address. *)
   | Phase of string  (** A named span, for ad-hoc instrumentation. *)
 
 val kind_name : kind -> string

@@ -35,3 +35,25 @@ val range : Mtm.Txn.t -> t -> lo:int64 -> hi:int64 -> (int64 * Bytes.t) list
 val validate : Mtm.Txn.t -> t -> unit
 (** Structural invariants: sorted keys, consistent separators, uniform
     leaf depth, intact leaf chain.  Test hook. *)
+
+(** {1 On-SCM format introspection}
+
+    The persistent block formats, exposed for the offline analyzer
+    ({!Check.Pmfsck}).  Header block: [[magic] [count] [root node]
+    [scratch]].  Node block ({!node_bytes} bytes): kind word, key-count
+    word, then the leaf or internal arrays at the offsets below. *)
+
+val magic : int64
+val max_keys : int
+val node_bytes : int
+
+val f_kind : int -> int
+(** 0 = internal, 1 = leaf. *)
+
+val f_nkeys : int -> int
+val leaf_next : int -> int
+val leaf_key : int -> int -> int
+val leaf_val : int -> int -> int
+val int_key : int -> int -> int
+val int_child : int -> int -> int
+(** Each takes the node address (and an index). *)

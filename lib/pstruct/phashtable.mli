@@ -34,3 +34,24 @@ val remove : Mtm.Txn.t -> t -> Bytes.t -> bool
 val length : Mtm.Txn.t -> t -> int
 
 val iter : Mtm.Txn.t -> t -> (Bytes.t -> Bytes.t -> unit) -> unit
+
+(** {1 On-SCM format introspection}
+
+    The persistent block formats, exposed for the offline analyzer
+    ({!Check.Pmfsck}).  Header block: [[magic|buckets]] then the bucket
+    array address at [root + 8].  Chain node block:
+    [[next] [hash] [klen|vlen] [key bytes] [value bytes]]. *)
+
+val magic : int64
+(** Top byte of a header word. *)
+
+val unpack_lens : int64 -> int * int
+(** [(klen, vlen)] from a node's length word (at [node + 16]). *)
+
+val node_bytes : klen:int -> vlen:int -> int
+val key_addr : int -> int
+val value_addr : int -> int -> int
+(** [value_addr node klen]. *)
+
+val hash_bytes : Bytes.t -> int64
+(** The key hash stored at [node + 8]. *)

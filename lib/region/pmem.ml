@@ -77,6 +77,11 @@ let regions t =
 (* ------------------------------------------------------------------ *)
 (* Address translation                                                 *)
 
+(* The durability sanitizer (if installed) shadows words by VIRTUAL
+   address; device-level hooks see physical frames, so every mapping
+   this layer installs is reported to keep its reverse map current. *)
+let[@inline] pmchk (v : view) = v.env.Scm.Env.machine.Scm.Env.pmcheck
+
 let translate v addr =
   let t = v.pmem in
   if not (Layout.is_persistent addr) then
@@ -93,6 +98,9 @@ let translate v addr =
           let page_off = vpage - Layout.page_of r.base in
           let frame = Manager.fault_in t.mgr v.env ~inode:r.inode ~page_off in
           Scm.Imap.Int.set t.vpage_cache vpage frame;
+          (match pmchk v with
+          | None -> ()
+          | Some chk -> Scm.Pmcheck.note_mapping chk ~vpage ~frame);
           frame
         end
       in
@@ -103,7 +111,11 @@ let translate v addr =
   in
   (frame * Layout.page_size) + (addr land (Layout.page_size - 1))
 
-let load v addr = P.load v.env (translate v addr)
+let load v addr =
+  (match pmchk v with
+  | None -> ()
+  | Some chk -> Scm.Pmcheck.check_load chk (addr land lnot 7));
+  P.load v.env (translate v addr)
 
 (* Non-temporal load: must not fault pages in.  A recovery-time sweep
    over a whole region would otherwise pull every page of the region
@@ -121,6 +133,9 @@ let load_nt v addr =
   match Manager.frame_of t.mgr ~inode:r.inode ~page_off with
   | Some frame ->
       Scm.Imap.Int.set t.vpage_cache vpage frame;
+      (match pmchk v with
+      | None -> ()
+      | Some chk -> Scm.Pmcheck.note_mapping chk ~vpage ~frame);
       P.load_nt v.env
         ((frame * Layout.page_size) + (addr land (Layout.page_size - 1)))
   | None ->
@@ -134,8 +149,17 @@ let load_nt v addr =
             b
       in
       Scm.Word.get buf (addr land (Layout.page_size - 1))
-let store v addr x = P.store v.env (translate v addr) x
-let wtstore v addr x = P.wtstore v.env (translate v addr) x
+let store v addr x =
+  (match pmchk v with
+  | None -> ()
+  | Some chk -> Scm.Pmcheck.check_store chk (addr land lnot 7));
+  P.store v.env (translate v addr) x
+
+let wtstore v addr x =
+  (match pmchk v with
+  | None -> ()
+  | Some chk -> Scm.Pmcheck.note_wtstore chk (addr land lnot 7));
+  P.wtstore v.env (translate v addr) x
 let flush v addr = P.flush v.env (translate v addr)
 let fence v = P.fence v.env
 
@@ -151,13 +175,36 @@ let by_page v addr len f =
     pos := !pos + n
   done
 
+(* Sanitizer hook for byte ranges: one shadow event per covered word,
+   matching how the range reaches the device (word posts for streaming
+   stores, line write-backs for cached ones). *)
+let each_word addr len f =
+  if len > 0 then begin
+    let first = addr land lnot 7 in
+    let last = (addr + len - 1) land lnot 7 in
+    let a = ref first in
+    while !a <= last do
+      f !a;
+      a := !a + 8
+    done
+  end
+
 let load_bytes v addr buf off len =
+  (match pmchk v with
+  | None -> ()
+  | Some chk -> each_word addr len (Scm.Pmcheck.check_load chk));
   by_page v addr len (fun pa rel n -> P.load_bytes v.env pa buf (off + rel) n)
 
 let store_bytes v addr buf off len =
+  (match pmchk v with
+  | None -> ()
+  | Some chk -> each_word addr len (Scm.Pmcheck.check_store chk));
   by_page v addr len (fun pa rel n -> P.store_bytes v.env pa buf (off + rel) n)
 
 let wtstore_bytes v addr buf off len =
+  (match pmchk v with
+  | None -> ()
+  | Some chk -> each_word addr len (Scm.Pmcheck.note_wtstore chk));
   by_page v addr len (fun pa rel n ->
       P.wtstore_bytes v.env pa buf (off + rel) n)
 

@@ -57,6 +57,22 @@ val regions : t -> (int * int) list
 
 val region_containing : t -> int -> (int * int) option
 
+(** {2 Region-table introspection}
+
+    The on-SCM region table layout, exposed read-only for the offline
+    image analyzer ({!Check.Pmfsck}) and for corruption-seeding tests.
+    The table occupies [Layout.region_table_size] bytes at
+    [Layout.region_table_base]: a 64-byte header (magic, capacity)
+    followed by 32-byte entries [base; len; inode; flags]. *)
+
+val rt_magic : int64
+val rt_capacity : int
+val entry_addr : int -> int
+(** Virtual address of region-table entry [i]. *)
+
+val flag_intent : int64
+val flag_valid : int64
+
 val is_persistent : int -> bool
 (** The reserved-range check (constant time, no lookup). *)
 

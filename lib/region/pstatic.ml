@@ -117,3 +117,32 @@ let iter v f =
     | Some (name, addr, len) -> f name ~addr ~len
     | None -> ()
   done
+
+(* Read-only enumeration over the non-faulting load path: the offline
+   analyzer walks the directory of a possibly-corrupt image without
+   touching cache state, frames, or the backing store.  Entries with an
+   implausible name length are surfaced with an empty name rather than
+   skipped, so a corrupted directory is still visible to the caller. *)
+let iter_nt v f =
+  if Pmem.load_nt v Layout.pstatic_base = magic then
+    for i = 0 to capacity - 1 do
+      let a = entry_addr i in
+      let addr = Int64.to_int (Pmem.load_nt v (a + 48)) in
+      if addr <> 0 then begin
+        let name_len = Int64.to_int (Pmem.load_nt v (a + 8)) in
+        let len = Int64.to_int (Pmem.load_nt v (a + 56)) in
+        let name =
+          if name_len < 0 || name_len > max_name_length then ""
+          else begin
+            let buf = Bytes.create max_name_length in
+            let w = ref 0 in
+            while !w < max_name_length do
+              Scm.Word.set buf !w (Pmem.load_nt v (a + 16 + !w));
+              w := !w + 8
+            done;
+            Bytes.sub_string buf 0 name_len
+          end
+        in
+        f name ~addr ~len
+      end
+    done

@@ -28,3 +28,10 @@ val get : Pmem.view -> string -> int -> int
 
 val iter : Pmem.view -> (string -> addr:int -> len:int -> unit) -> unit
 (** Enumerate all static variables. *)
+
+val iter_nt : Pmem.view -> (string -> addr:int -> len:int -> unit) -> unit
+(** Like {!iter}, but entirely over the non-faulting {!Pmem.load_nt}
+    path and without initializing an empty directory: safe on
+    arbitrary (even corrupt) images and guaranteed not to perturb
+    cache state, frames, or the backing store.  A corrupt entry whose
+    name length is implausible is reported with an empty name. *)

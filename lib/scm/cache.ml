@@ -28,6 +28,9 @@ type t = {
   cp : Crashpoint.t;
   evict_ctr : Obs.Metrics.counter;
   mutable evictions : int;
+  mutable pmcheck : Pmcheck.t option;
+      (* durability sanitizer, observing lines that reach the device;
+         None (the default) costs one branch per write-back *)
   (* Dense array of resident line addresses for O(1) random victim
      selection; insertion-ordered, removal swaps the last entry in. *)
   members : int array;
@@ -57,6 +60,7 @@ let create ?(line_size = 64) ?(capacity_lines = 8192) ?(seed = 0xcafe) ?obs
     cp;
     evict_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.cache.evictions";
     evictions = 0;
+    pmcheck = None;
     members = Array.make (max 16 capacity_lines) (-1);
     nmembers = 0;
   }
@@ -131,10 +135,15 @@ let table_delete t slot =
     j := (!j + 1) land mask
   done
 
+let set_pmcheck t c = t.pmcheck <- c
+
 let write_back t base slot =
   Crashpoint.tick t.cp Crashpoint.Cache_writeback;
   Scm_device.write_from t.dev base t.data.(slot) 0 t.line_size;
-  t.dirty.(slot) <- false
+  t.dirty.(slot) <- false;
+  match t.pmcheck with
+  | None -> ()
+  | Some chk -> Pmcheck.device_reach_line chk base t.line_size
 
 let remove_line t slot =
   member_remove t slot;

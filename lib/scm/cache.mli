@@ -81,3 +81,8 @@ val writeback_line : t -> int -> unit
 val drop_all : t -> unit
 (** Discard every line without write-back: the volatile cache contents
     vanishing at power loss. *)
+
+val set_pmcheck : t -> Pmcheck.t option -> unit
+(** Attach (or detach, with [None]) a durability sanitizer: every line
+    write-back reports a device-reach event to it.  Installed via
+    {!Env.install_pmcheck}. *)

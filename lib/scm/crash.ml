@@ -10,6 +10,10 @@ let inject ?(policy = default) (m : Env.machine) =
      and drain paths that tick the crash-point counter; disarm it so
      applying the crash policy cannot itself "crash". *)
   Crashpoint.disarm m.crash_point;
+  (* Crash residue (which dirty lines happen to land, which WC words
+     survive) is the environment's doing, not the program's: detach the
+     sanitizer so the injection is not reported as rule violations. *)
+  Env.detach_pmcheck m;
   let rng = m.crash_rng in
   (* Streaming stores race with cache write-backs; interleave arbitrarily
      by doing WC first or last at random.  Since both act on disjoint

@@ -5,6 +5,9 @@ type machine = {
   crash_rng : Random.State.t;
   obs : Obs.t;
   crash_point : Crashpoint.t;
+  mutable pmcheck : Pmcheck.t option;
+      (* durability sanitizer; None (default) keeps every hook a single
+         branch so sim figures and crash-point indices are unchanged *)
   mutable wc_buffers : Wc_buffer.t list;
   mutable media_busy_until : int;
   flush_ctr : Obs.Metrics.counter;
@@ -39,6 +42,7 @@ let make_machine ?(latency = Latency_model.default) ?cache_capacity_lines
     crash_rng = Random.State.make [| seed; 0x5eed |];
     obs;
     crash_point = cp;
+    pmcheck = None;
     wc_buffers = [];
     media_busy_until = 0;
     flush_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.flushes";
@@ -64,6 +68,7 @@ let machine_of_device ?(latency = Latency_model.default) ?cache_capacity_lines
     crash_rng = Random.State.make [| seed; 0x5eed |];
     obs;
     crash_point = cp;
+    pmcheck = None;
     wc_buffers = [];
     media_busy_until = 0;
     flush_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.flushes";
@@ -77,8 +82,33 @@ let attach_wc machine =
   let wc =
     Wc_buffer.create ~obs:machine.obs ~cp:machine.crash_point machine.dev
   in
+  (match machine.pmcheck with
+  | None -> ()
+  | Some _ as c -> Wc_buffer.set_pmcheck wc c);
   machine.wc_buffers <- wc :: machine.wc_buffers;
   wc
+
+(* Install the durability sanitizer on a machine: the cache and every
+   write-combining buffer (present and future) report device-reach
+   events to it.  Installation is expected before the workload starts;
+   it never charges simulated time. *)
+let install_pmcheck ?lint_fences m =
+  let chk =
+    Pmcheck.create ?lint_fences ~obs:m.obs ~cp:m.crash_point
+      ~nframes:(Scm_device.nframes m.dev) ()
+  in
+  m.pmcheck <- Some chk;
+  Cache.set_pmcheck m.cache (Some chk);
+  List.iter (fun wc -> Wc_buffer.set_pmcheck wc (Some chk)) m.wc_buffers;
+  chk
+
+(* Detach without losing accumulated state: crash injection applies
+   wc/cache residue policies that must not be mistaken for program
+   behaviour, so {!Crash.inject} calls this first. *)
+let detach_pmcheck m =
+  m.pmcheck <- None;
+  Cache.set_pmcheck m.cache None;
+  List.iter (fun wc -> Wc_buffer.set_pmcheck wc None) m.wc_buffers
 
 (* Creating an environment points the machine's observability clock at
    this environment's clock.  Every view of one simulation shares one

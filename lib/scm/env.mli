@@ -25,6 +25,11 @@ type machine = {
           buffer, and the fence path.  Disarmed it only counts; armed
           (the crash-schedule explorer) it turns one exact operation
           index into a {!Crashpoint.Simulated_crash}. *)
+  mutable pmcheck : Pmcheck.t option;
+      (** Optional durability sanitizer (see {!Pmcheck}).  [None] — the
+          default — keeps every hook site a single branch, so simulated
+          time, allocation budgets, and crash-point indices are exactly
+          those of a build without the sanitizer. *)
   mutable wc_buffers : Wc_buffer.t list;
       (** Every live write-combining buffer; crash injection must see
           them all. *)
@@ -80,6 +85,16 @@ val standalone : machine -> t
 val view : machine -> delay:(int -> unit) -> now:(unit -> int) -> t
 (** A per-thread view with caller-supplied time accounting (the DES
     integration point). *)
+
+val install_pmcheck : ?lint_fences:bool -> machine -> Pmcheck.t
+(** Create a {!Pmcheck} sanitizer and attach it to the machine, its
+    cache, and every current and future write-combining buffer.
+    Install before running the workload; costs no simulated time. *)
+
+val detach_pmcheck : machine -> unit
+(** Detach the sanitizer everywhere without discarding its accumulated
+    violations.  {!Crash.inject} calls this before applying crash
+    residue policies, which must not be attributed to the program. *)
 
 val elapsed_ns : t -> int
 (** Shorthand for [t.now ()]. *)

@@ -82,6 +82,9 @@ let fence_impl (env : Env.t) =
   Crashpoint.tick env.machine.crash_point Crashpoint.Fence;
   let lat = env.machine.latency in
   let bytes = Wc_buffer.pending_bytes env.wc in
+  (match env.machine.pmcheck with
+  | None -> ()
+  | Some chk -> Pmcheck.note_fence chk ~pending_words:(bytes / 8));
   Wc_buffer.drain env.wc;
   env.delay lat.fence_base_ns;
   if bytes > 0 then media_write env (Latency_model.streaming_write_ns lat bytes)

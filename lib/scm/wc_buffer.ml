@@ -15,6 +15,9 @@ type t = {
   obs : Obs.t;
   cp : Crashpoint.t;
   drain_ctr : Obs.Metrics.counter;
+  mutable pmcheck : Pmcheck.t option;
+      (* durability sanitizer, observing drained words; None (the
+         default) costs one branch per drain *)
 }
 
 let line_shift = 6
@@ -30,7 +33,10 @@ let create ?obs ?cp dev =
     obs;
     cp;
     drain_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.wc.drains";
+    pmcheck = None;
   }
+
+let set_pmcheck t c = t.pmcheck <- c
 
 let[@inline] is_empty t = t.n = 0
 
@@ -74,10 +80,19 @@ let drain t =
     Crashpoint.tick t.cp Crashpoint.Wc_drain;
     Obs.Metrics.incr t.drain_ctr;
     Obs.instant t.obs Obs.Trace.Wc_drain ~arg:t.n;
-    for i = 0 to t.n - 1 do
-      Scm_device.store64_unchecked t.dev t.o_addrs.(i)
-        (Bytes.get_int64_le t.o_vals (i * 8))
-    done;
+    (match t.pmcheck with
+    | None ->
+        for i = 0 to t.n - 1 do
+          Scm_device.store64_unchecked t.dev t.o_addrs.(i)
+            (Bytes.get_int64_le t.o_vals (i * 8))
+        done
+    | Some chk ->
+        for i = 0 to t.n - 1 do
+          let addr = t.o_addrs.(i) in
+          Scm_device.store64_unchecked t.dev addr
+            (Bytes.get_int64_le t.o_vals (i * 8));
+          Pmcheck.device_reach_word chk addr
+        done);
     clear t
   end
 

@@ -53,3 +53,8 @@ val crash_apply_subset : t -> Random.State.t -> int
 
 val discard : t -> unit
 (** Drop all pending stores without applying them. *)
+
+val set_pmcheck : t -> Pmcheck.t option -> unit
+(** Attach (or detach, with [None]) a durability sanitizer: each word a
+    drain writes to the device reports a device-reach event to it.
+    Installed via {!Env.install_pmcheck}. *)
