@@ -1137,6 +1137,13 @@ let ablation_banks () =
 
 let trace_file = ref None
 let show_metrics = ref false
+let metrics_json_file = ref None
+
+(* --metrics-json: the JSON snapshot of the most recent instrumented
+   registry (kvstore's, or commit_bench's last case), captured as each
+   section finishes and written once at program end. *)
+let metrics_json_data = ref None
+let capture_metrics m = metrics_json_data := Some (Obs.Metrics.to_json m)
 
 (* A steady-state hashtable workload with the observability layer
    surfaced: the per-phase commit-latency breakdown (paper table 5's
@@ -1148,6 +1155,8 @@ let kvstore () =
   let dir = fresh_dir "kvstore" in
   let obs = Obs.create ~tracing:(!trace_file <> None) () in
   let inst = Mnemosyne.open_instance ~geometry ~obs ~dir () in
+  let tp = Obs.Txprof.create (Mnemosyne.obs inst).Obs.metrics in
+  Mtm.Txn.set_txprof (Mnemosyne.pool inst) (Some tp);
   let slot = Mnemosyne.pstatic inst "bench.kv" 8 in
   let table =
     Mnemosyne.atomically inst (fun tx ->
@@ -1197,9 +1206,7 @@ let kvstore () =
        (float_of_int (Workload.Stats.percentile_ns lat 99.0) /. 1000.0));
   (match (!trace_file, (Mnemosyne.obs inst).Obs.trace) with
   | Some file, Some tr ->
-      let oc = open_out file in
-      output_string oc (Obs.Trace.to_chrome_json tr);
-      close_out oc;
+      Obs.Trace.save_chrome tr file;
       Workload.Report.note
         (Printf.sprintf
            "chrome trace: %d events -> %s (%d dropped); load in \
@@ -1207,7 +1214,12 @@ let kvstore () =
            (Obs.Trace.length tr) file (Obs.Trace.dropped tr));
       print_string (Obs.Trace.summary tr)
   | _ -> ());
-  if !show_metrics then print_string (Obs.Metrics.dump m);
+  if !show_metrics then begin
+    Printf.printf "\ntail attribution (slowest %d of %d transactions):\n%s"
+      (Obs.Txprof.captured tp) (Obs.Txprof.count tp) (Obs.Txprof.table tp);
+    print_string (Obs.Metrics.dump m)
+  end;
+  capture_metrics m;
   rm_rf dir
 
 (* ------------------------------------------------------------------ *)
@@ -1225,6 +1237,19 @@ let commit_bench () =
   let run_case ~name ~writes_per_txn ~reads_per_txn ~iters =
     let dir = fresh_dir "commitb" in
     let inst = Mnemosyne.open_instance ~geometry ~dir () in
+    (* Profiling is only installed for the explicit --metrics tail
+       table: the ledger charges no simulated time, but its host-CPU
+       cost would pollute the wall columns this section exists to
+       guard.  --metrics-json alone captures the (free, always-on)
+       registry below without touching the measured path. *)
+    let tp =
+      if !show_metrics then begin
+        let tp = Obs.Txprof.create (Mnemosyne.obs inst).Obs.metrics in
+        Mtm.Txn.set_txprof (Mnemosyne.pool inst) (Some tp);
+        Some tp
+      end
+      else None
+    in
     let slot = Mnemosyne.pstatic inst "bench.commit" 8 in
     let data =
       Mnemosyne.atomically inst (fun tx ->
@@ -1266,6 +1291,15 @@ let commit_bench () =
     let commits_per_s = float_of_int iters /. wall_s in
     let sim_us = float_of_int sim_ns /. float_of_int iters /. 1000.0 in
     let minor_per_commit = minor /. float_of_int iters in
+    (match tp with
+    | None -> ()
+    | Some tp ->
+        Printf.printf
+          "\n%s: tail attribution (slowest %d of %d transactions):\n%s\n"
+          name (Obs.Txprof.captured tp) (Obs.Txprof.count tp)
+          (Obs.Txprof.table tp));
+    if !show_metrics || !metrics_json_file <> None then
+      capture_metrics (Mnemosyne.obs inst).Obs.metrics;
     json_add name
       [
         ("wall_commits_per_s", commits_per_s);
@@ -1450,6 +1484,17 @@ let () =
     | "--metrics" :: rest ->
         show_metrics := true;
         parse rest
+    | "--metrics-json" :: file :: rest
+      when String.length file > 0 && file.[0] <> '-' ->
+        (try close_out (open_out file)
+         with Sys_error msg ->
+           Printf.eprintf "bench: cannot write metrics-json file: %s\n" msg;
+           exit 2);
+        metrics_json_file := Some file;
+        parse rest
+    | "--metrics-json" :: _ ->
+        prerr_endline "bench: --metrics-json requires a FILE argument";
+        exit 2
     | "--sched-policy" :: p :: rest -> (
         match Sim.Schedule.policy_of_string p with
         | Ok policy ->
@@ -1480,9 +1525,10 @@ let () =
     let wanted = List.filter (fun a -> a <> "--wallclock") args in
     let selected =
       if wanted = [] then
-        (* --trace/--metrics alone mean "show me the instrumented
-           run", not "trace all thirteen sections" *)
-        if !trace_file <> None || !show_metrics then [ ("kvstore", kvstore) ]
+        (* --trace/--metrics/--metrics-json alone mean "show me the
+           instrumented run", not "trace all thirteen sections" *)
+        if !trace_file <> None || !show_metrics || !metrics_json_file <> None
+        then [ ("kvstore", kvstore) ]
         else all_sections
       else
         List.filter
@@ -1498,6 +1544,16 @@ let () =
       "Mnemosyne benchmark harness (simulated time; see EXPERIMENTS.md)\n";
     List.iter (fun (_, f) -> f ()) selected;
     (match !json_file with Some f -> json_write f | None -> ());
+    (match (!metrics_json_file, !metrics_json_data) with
+    | Some f, Some data ->
+        Out_channel.with_open_text f (fun oc ->
+            Out_channel.output_string oc data)
+    | Some f, None ->
+        Printf.eprintf
+          "bench: --metrics-json %s: no instrumented section ran (kvstore \
+           and commit_bench capture metrics)\n"
+          f
+    | None, _ -> ());
     match !baseline with
     | None -> ()
     | Some f ->

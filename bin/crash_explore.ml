@@ -226,9 +226,16 @@ let dump_trace cfg ~obs ~name =
   | None -> None
   | Some tr ->
       let path = Filename.concat cfg.base name in
-      Out_channel.with_open_text path (fun oc ->
-          output_string oc (Obs.Trace.to_chrome_json tr));
+      Obs.Trace.save_chrome tr path;
       Some path
+
+(* The always-on flight recorder: available for every failure, traced
+   run or not — the ring holds the last events leading up to it. *)
+let dump_flight cfg ~obs ~name =
+  let path = Filename.concat cfg.base name in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Obs.flight_dump obs));
+  path
 
 (* ------------------------------------------------------------------ *)
 (* Setup: a cleanly closed instance whose recovery + workload is the
@@ -293,12 +300,12 @@ let replay_hint cfg f =
     (Filename.quote cfg.base)
 
 let report_failure cfg ~obs f =
-  let trace =
-    dump_trace cfg ~obs
-      ~name:
-        (Printf.sprintf "crash-seed%d-op%d%s.trace.json" cfg.seed f.op
-           (match f.second with Some j -> Printf.sprintf "-r%d" j | None -> ""))
+  let tag =
+    Printf.sprintf "crash-seed%d-op%d%s" cfg.seed f.op
+      (match f.second with Some j -> Printf.sprintf "-r%d" j | None -> "")
   in
+  let trace = dump_trace cfg ~obs ~name:(tag ^ ".trace.json") in
+  let flight = dump_flight cfg ~obs ~name:(tag ^ ".flight.txt") in
   Printf.printf "FAIL op %d%s: %s\n" f.op
     (match f.second with
     | Some j -> Printf.sprintf " (second-level crash at recovery op %d)" j
@@ -308,6 +315,7 @@ let report_failure cfg ~obs f =
   (match trace with
   | Some p -> Printf.printf "     trace up to the crash: %s\n" p
   | None -> ());
+  Printf.printf "     flight recorder: %s\n" flight;
   print_string "%!"
 
 type second_mode = No_second | Sample of int | Second_at of int

@@ -81,8 +81,9 @@ let run dir level =
   end
 
 (* stats: region + heap + log occupancy, plus the recovery-time
-   observability counters. *)
-let run_stats dir =
+   observability counters.  --json emits the same facts as one object,
+   with the metrics registry snapshot embedded under "metrics". *)
+let run_stats dir json =
   if not (Sys.file_exists dir) then begin
     Printf.eprintf "regionctl: no instance at %s\n" dir;
     1
@@ -92,42 +93,68 @@ let run_stats dir =
     let pmem = Mnemosyne.pmem inst in
     let mgr = Region.Pmem.manager pmem in
     let dev = (Mnemosyne.machine inst).dev in
-    Printf.printf "Mnemosyne instance: %s\n\n" dir;
-
     let nframes = Scm.Scm_device.nframes dev in
     let free = Region.Manager.free_frames mgr in
     let resident = Region.Manager.resident_frames mgr in
-    Printf.printf
-      "frames: %d total, %d free, %d resident (%.1f%% occupied)\n" nframes
-      free resident
-      (100.0 *. float_of_int (nframes - free) /. float_of_int nframes);
     let regions = Region.Pmem.regions pmem in
     let region_bytes = List.fold_left (fun acc (_, len) -> acc + len) 0 regions in
-    Printf.printf "regions: %d mapped, %d bytes total\n"
-      (List.length regions) region_bytes;
-
     let occ = Pmheap.Heap.occupancy (Mnemosyne.heap inst) in
-    Printf.printf
-      "heap:   %d/%d superblocks assigned; large area %d bytes, %d free \
-       (%.1f%% used)\n"
-      occ.assigned_superblocks occ.superblocks occ.large_bytes
-      occ.large_free_bytes
-      (100.0
-      *. float_of_int (occ.large_bytes - occ.large_free_bytes)
-      /. float_of_int (max 1 occ.large_bytes));
-
-    Printf.printf "transaction logs:\n";
-    List.iter
-      (fun u ->
-        Printf.printf
-          "  slot %d  base %#014x  %d/%d words used (%.1f%%)\n" u.Mtm.Txn.slot
-          u.Mtm.Txn.base u.Mtm.Txn.used u.Mtm.Txn.cap_words
-          (100.0 *. float_of_int u.Mtm.Txn.used
-          /. float_of_int u.Mtm.Txn.cap_words))
-      (Mtm.Txn.log_usage (Mnemosyne.pool inst));
-
-    Printf.printf "\ncounters since open (recovery path):\n";
-    print_string (Obs.Metrics.dump (Mnemosyne.obs inst).Obs.metrics);
+    let logs = Mtm.Txn.log_usage (Mnemosyne.pool inst) in
+    if json then begin
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf "{\n";
+      Printf.bprintf buf
+        "  \"frames\": {\"total\": %d, \"free\": %d, \"resident\": %d},\n"
+        nframes free resident;
+      Printf.bprintf buf
+        "  \"regions\": {\"mapped\": %d, \"bytes\": %d},\n"
+        (List.length regions) region_bytes;
+      Printf.bprintf buf
+        "  \"heap\": {\"superblocks\": %d, \"assigned_superblocks\": %d, \
+         \"large_bytes\": %d, \"large_free_bytes\": %d},\n"
+        occ.superblocks occ.assigned_superblocks occ.large_bytes
+        occ.large_free_bytes;
+      Buffer.add_string buf "  \"logs\": [";
+      List.iteri
+        (fun i u ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Printf.bprintf buf
+            "{\"slot\": %d, \"base\": %d, \"cap_words\": %d, \"used\": %d}"
+            u.Mtm.Txn.slot u.Mtm.Txn.base u.Mtm.Txn.cap_words u.Mtm.Txn.used)
+        logs;
+      Buffer.add_string buf "],\n";
+      Printf.bprintf buf "  \"metrics\": %s\n}"
+        (String.trim (Obs.Metrics.to_json (Mnemosyne.obs inst).Obs.metrics));
+      print_endline (Buffer.contents buf)
+    end
+    else begin
+      Printf.printf "Mnemosyne instance: %s\n\n" dir;
+      Printf.printf
+        "frames: %d total, %d free, %d resident (%.1f%% occupied)\n" nframes
+        free resident
+        (100.0 *. float_of_int (nframes - free) /. float_of_int nframes);
+      Printf.printf "regions: %d mapped, %d bytes total\n"
+        (List.length regions) region_bytes;
+      Printf.printf
+        "heap:   %d/%d superblocks assigned; large area %d bytes, %d free \
+         (%.1f%% used)\n"
+        occ.assigned_superblocks occ.superblocks occ.large_bytes
+        occ.large_free_bytes
+        (100.0
+        *. float_of_int (occ.large_bytes - occ.large_free_bytes)
+        /. float_of_int (max 1 occ.large_bytes));
+      Printf.printf "transaction logs:\n";
+      List.iter
+        (fun u ->
+          Printf.printf
+            "  slot %d  base %#014x  %d/%d words used (%.1f%%)\n"
+            u.Mtm.Txn.slot u.Mtm.Txn.base u.Mtm.Txn.used u.Mtm.Txn.cap_words
+            (100.0 *. float_of_int u.Mtm.Txn.used
+            /. float_of_int u.Mtm.Txn.cap_words))
+        logs;
+      Printf.printf "\ncounters since open (recovery path):\n";
+      print_string (Obs.Metrics.dump (Mnemosyne.obs inst).Obs.metrics)
+    end;
     Mnemosyne.close inst;
     0
   end
@@ -167,15 +194,16 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Full inspection (the default command)")
     inspect_term
 
-let stats_cmd =
-  Cmd.v
-    (Cmd.info "stats" ~doc:"Region, heap and log occupancy summary")
-    Term.(const run_stats $ dir)
-
+(* One --json flag, shared by every reporting subcommand. *)
 let json =
   Arg.(
     value & flag
     & info [ "json" ] ~doc:"Print the report as JSON instead of text.")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Region, heap and log occupancy summary")
+    Term.(const run_stats $ dir $ json)
 
 let fsck_cmd =
   Cmd.v

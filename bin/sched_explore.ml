@@ -87,6 +87,12 @@ let run_replay ~dir ~verbose path =
 let run_record ~cfg ~verbose path =
   let o = H.run cfg in
   H.save_schedule o cfg path;
+  if o.H.violations <> [] then begin
+    let flight = path ^ ".flight.txt" in
+    Out_channel.with_open_text flight (fun oc ->
+        output_string oc (Obs.flight_dump o.H.obs));
+    Printf.printf "flight recorder: %s\n" flight
+  end;
   if verbose then Printf.printf "  %s\n" (describe o);
   print_violations o;
   Printf.printf "recorded %s schedule (seed %d) to %s: %s\n"
@@ -120,12 +126,18 @@ let run_sweep ~cfg0 ~policies ~seeds ~seed0 ~verbose =
                  k)
           in
           H.save_schedule o cfg path;
+          (* flight recorder: the last events before the violation,
+             always available — the sweep does not run with tracing *)
+          let flight = path ^ ".flight.txt" in
+          Out_channel.with_open_text flight (fun oc ->
+              output_string oc (Obs.flight_dump o.H.obs));
           Printf.printf "FAIL %s seed %d: %d violation(s)\n"
             (Sim.Schedule.policy_name policy)
             k
             (List.length o.H.violations);
           print_violations o;
-          Printf.printf "     replay: %s\n%!" (replay_hint path cfg.H.dir);
+          Printf.printf "     replay: %s\n" (replay_hint path cfg.H.dir);
+          Printf.printf "     flight recorder: %s\n%!" flight;
           failures := (policy, k, path) :: !failures
         end
       done)

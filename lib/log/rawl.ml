@@ -14,6 +14,10 @@ type t = {
   mutable tail_tpos : int;
   append_ctr : Obs.Metrics.counter;  (* log.appends, resolved once *)
   trunc_ctr : Obs.Metrics.counter;  (* log.truncations, likewise *)
+  mutable owner : int;
+      (* transaction id the next append belongs to, stamped by the STM
+         layer; 0 = none.  Appends open a causal flow under this id so
+         the deferred truncation can be attributed back. *)
   (* Record staging area for the allocation-free packing loop in
      {!append_sub}: the length word and payload are laid out here as
      raw little-endian bytes, then each 63-bit chunk is read straight
@@ -107,6 +111,18 @@ let mk_counters v =
   ( Obs.Metrics.counter obs.Obs.metrics "log.appends",
     Obs.Metrics.counter obs.Obs.metrics "log.truncations" )
 
+let set_owner t txid = t.owner <- txid
+
+(* One occupancy gauge per log base (per-thread logs share the
+   machine registry, so the base disambiguates); re-attaching the same
+   log re-points the gauge at the new handle, which is the live one. *)
+let register_gauges t =
+  let obs = t.v.Pmem.env.Scm.Env.machine.Scm.Env.obs in
+  Obs.Metrics.set_gauge
+    (Obs.Metrics.gauge obs.Obs.metrics
+       (Printf.sprintf "log.%08x.occupancy_pct" t.base))
+    (fun () -> 100 * used_words t / t.cap)
+
 (* Durability-sanitizer hooks: a registered log lets the checker verify
    record durability (its WC-pending count) and catch truncations that
    race un-fenced data.  One branch each when no sanitizer is
@@ -139,9 +155,11 @@ let create ?(rotate_torn_bit = false) v ~base ~cap_words =
       tail_tpos = 63;
       append_ctr;
       trunc_ctr;
+      owner = 0;
       scratch = Bytes.make 512 '\000';
     }
   in
+  register_gauges t;
   Pmem.wtstore v (cap_addr t) (pack_cap ~cap:cap_words ~rotate:rotate_torn_bit);
   Pmem.wtstore v (head_addr t) (pack_head ~off:0 ~parity:1 ~tpos:63);
   Pmem.fence v;
@@ -207,6 +225,9 @@ let append_staged t ~n ~span =
   Obs.Metrics.incr t.append_ctr;
   Obs.complete obs Obs.Trace.Log_append ~ts:t0
     ~dur:(env.Scm.Env.now () - t0) ~arg:span;
+  (* Open the causal flow: deferred truncation / write-back / drain
+     work stamped with the same txid binds back to this append. *)
+  if t.owner <> 0 then Obs.flow obs ~phase:`Start ~id:t.owner;
   Appended span
 
 let append_sub t payload ~len =
@@ -315,8 +336,9 @@ let attach v ~base =
   let t =
     { v; base; cap; rotate; passes = 0; head_off; head_parity; head_tpos;
       tail_off = head_off; tail_parity = head_parity; tail_tpos = head_tpos;
-      append_ctr; trunc_ctr; scratch = Bytes.make 512 '\000' }
+      append_ctr; trunc_ctr; owner = 0; scratch = Bytes.make 512 '\000' }
   in
+  register_gauges t;
   (* Scan forward from the head "until it reaches the end of the log,
      where the torn bit reverses, or until it finds a log word with an
      out-of-sequence torn bit, indicating a partial write." *)

@@ -86,6 +86,13 @@ val append_bytes : t -> Bytes.t -> len:int -> append_result
 val flush : t -> unit
 (** [log_flush]: one fence; all prior appends are durable after this. *)
 
+val set_owner : t -> int -> unit
+(** Stamp the transaction id the next appends belong to (0 = none).
+    Each append then opens a causal flow under that id, so deferred
+    truncation and write-back work stamped with the same id renders as
+    an arrow back to the append in the Chrome trace.  A plain int
+    store: no simulated time, rng, or allocation. *)
+
 val truncate_all : t -> unit
 (** Drop every record: head := tail, one atomic word write + fence. *)
 

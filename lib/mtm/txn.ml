@@ -28,8 +28,10 @@ exception Abort_internal
 
 (* A commit whose log span is awaiting asynchronous truncation; the
    daemon only needs the record's span and its write addresses (sorted
-   ascending) to flush lines and advance the head. *)
-type pending = { span : int; addrs : int array }
+   ascending) to flush lines and advance the head.  The owning
+   transaction id rides along so the deferred work can close the
+   commit's causal flow in the trace. *)
+type pending = { span : int; addrs : int array; txid : int }
 
 type pool = {
   pmem : Region.Pmem.t;
@@ -58,6 +60,12 @@ type pool = {
      one branch and the default schedule stays bit-identical. *)
   mutable history : (History.event -> unit) option;
   mutable backoff_draw : (int -> int) option;
+  (* Per-transaction profile ledger, [None] by default under the same
+     one-branch discipline as the exploration hooks. *)
+  mutable txprof : Obs.Txprof.t option;
+  mutable next_txid : int;
+      (* pool-wide transaction id source; ids stamp causal flows and
+         profile entries, 0 meaning "no transaction" *)
 }
 
 type thread = {
@@ -87,6 +95,18 @@ type thread = {
   mutable r_addrs : int array;
   mutable r_vals : int64 array;
   mutable nreads : int;
+  mutable cur_txid : int;  (* id of the transaction running here, 0 = none *)
+  (* Per-transaction profile scratch, only maintained when the pool has
+     a {!Obs.Txprof} ledger installed.  [prof_mark] is a running
+     timestamp: each phase boundary attributes [now - prof_mark] to one
+     phase and advances the mark, so the phases partition the
+     transaction's interval exactly. *)
+  prof_phases : int array;
+  mutable prof_start : int;
+  mutable prof_mark : int;
+  mutable prof_stall_ns : int;  (* log-full stall inside the current append *)
+  mutable prof_retries : int;
+  mutable prof_bytes : int;
 }
 
 and txn = {
@@ -198,6 +218,8 @@ let create_pool ?(config = default_config) pmem heap =
       log_full_stalls = 0;
       history = None;
       backoff_draw = None;
+      txprof = None;
+      next_txid = 0;
     }
   in
   (* Recovery: gather complete records from every thread log, replay in
@@ -292,10 +314,27 @@ let thread pool i env =
     r_addrs = Array.make 8 0;
     r_vals = Array.make 8 0L;
     nreads = 0;
+    cur_txid = 0;
+    prof_phases = Array.make Obs.Txprof.nphases 0;
+    prof_start = 0;
+    prof_mark = 0;
+    prof_stall_ns = 0;
+    prof_retries = 0;
+    prof_bytes = 0;
   }
 
 let set_history_hook pool h = pool.history <- h
 let set_backoff_draw pool d = pool.backoff_draw <- d
+let set_txprof pool tp = pool.txprof <- tp
+let txprof pool = pool.txprof
+
+(* Attribute everything since the last mark to [phase] and advance the
+   mark.  Only called when the pool has a ledger; reads the clock but
+   never charges simulated time. *)
+let[@inline] prof_phase th phase =
+  let now = th.view.Pmem.env.Scm.Env.now () in
+  th.prof_phases.(phase) <- th.prof_phases.(phase) + (now - th.prof_mark);
+  th.prof_mark <- now
 
 (* ------------------------------------------------------------------ *)
 (* Scratch-buffer management (amortized: grow once, reuse forever)     *)
@@ -602,10 +641,13 @@ let charge_log_read (dview : Pmem.view) ~nwrites =
 let process_one_truncation th dview =
   match Queue.take_opt th.pending_q with
   | None -> false
-  | Some { span; addrs } ->
+  | Some { span; addrs; txid } ->
       charge_log_read dview ~nwrites:(Array.length addrs);
       flush_sorted_lines dview addrs (Array.length addrs);
       Pmlog.Rawl.advance_head th.log ~words:span;
+      (* the deferred tail of the commit's causal flow: this truncation
+         retired transaction [txid]'s record *)
+      if txid <> 0 then Obs.flow th.pool.obs ~phase:`End ~id:txid;
       true
 
 let process_truncations th dview =
@@ -617,10 +659,11 @@ let process_truncations th dview =
 
 let drain_truncations_blocking th =
   while not (Queue.is_empty th.pending_q) do
-    let { span; addrs } = Queue.pop th.pending_q in
+    let { span; addrs; txid } = Queue.pop th.pending_q in
     charge_log_read th.view ~nwrites:(Array.length addrs);
     flush_sorted_lines th.view addrs (Array.length addrs);
-    Pmlog.Rawl.advance_head th.log ~words:span
+    Pmlog.Rawl.advance_head th.log ~words:span;
+    if txid <> 0 then Obs.flow th.pool.obs ~phase:`End ~id:txid
   done
 
 (* ------------------------------------------------------------------ *)
@@ -692,8 +735,10 @@ let append_record tx buf ~len =
           let env = tx.th.view.Pmem.env in
           let t0 = env.Scm.Env.now () in
           drain_truncations_blocking tx.th;
-          Obs.complete pool.obs Obs.Trace.Log_stall ~ts:t0
-            ~dur:(env.Scm.Env.now () - t0)
+          let dur = env.Scm.Env.now () - t0 in
+          (* let the profiler split the stall out of the log phase *)
+          tx.th.prof_stall_ns <- tx.th.prof_stall_ns + dur;
+          Obs.complete pool.obs Obs.Trace.Log_stall ~ts:t0 ~dur
             ~arg:(Queue.length tx.th.pending_q);
           if retried > 1 then
             failwith
@@ -727,6 +772,7 @@ let commit_redo tx =
      the fresh timestamp so cts order matches what was read (race found
      by bin/sched_explore; regression traces in test/schedules/). *)
   if not (validate tx) then raise Abort_internal;
+  if pool.txprof != None then prof_phase th Obs.Txprof.ph_validate;
   (* Ascending-address write order, encoded into the thread's reusable
      buffer: no per-commit lists, arrays, or boxed values. *)
   let n = sorted_addrs_of th tx.wset in
@@ -746,11 +792,24 @@ let commit_redo tx =
       Scm.Pmcheck.commit_begin chk ~log:(th_log_base th) th.sorted n);
   let span = append_record tx enc ~len in
   let t1 = env.Scm.Env.now () in
+  (if pool.txprof != None then begin
+     (* log phase up to t1, minus any log-full stall drained inline,
+        which is its own phase (truncation wait) *)
+     let stall = th.prof_stall_ns in
+     th.prof_stall_ns <- 0;
+     th.prof_phases.(Obs.Txprof.ph_trunc_wait) <-
+       th.prof_phases.(Obs.Txprof.ph_trunc_wait) + stall;
+     th.prof_phases.(Obs.Txprof.ph_log) <-
+       th.prof_phases.(Obs.Txprof.ph_log) + (t1 - th.prof_mark) - stall;
+     th.prof_mark <- t1;
+     th.prof_bytes <- th.prof_bytes + (8 * len)
+   end);
   Pmlog.Rawl.flush th.log;  (* the durability point: one fence *)
   (match pmchk th with
   | None -> ()
   | Some chk -> Scm.Pmcheck.commit_logged chk ~log:(th_log_base th));
   let t2 = env.Scm.Env.now () in
+  if pool.txprof != None then prof_phase th Obs.Txprof.ph_fence;
   for i = 0 to n - 1 do
     (* the ascending write-back reads each value back out of the staged
        record, so the write set is probed once per write, not twice *)
@@ -760,9 +819,16 @@ let commit_redo tx =
   (match pool.cfg.truncation with
   | Sync ->
       flush_sorted_lines th.view th.sorted n;
-      Pmlog.Rawl.truncate_all th.log
-  | Async -> Queue.push { span; addrs = Array.sub th.sorted 0 n } th.pending_q);
+      Pmlog.Rawl.truncate_all th.log;
+      (* synchronous truncation retires the commit's own log record
+         inline: the causal flow ends here, not on a deferred drain *)
+      if th.cur_txid <> 0 then Obs.flow pool.obs ~phase:`End ~id:th.cur_txid
+  | Async ->
+      Queue.push
+        { span; addrs = Array.sub th.sorted 0 n; txid = th.cur_txid }
+        th.pending_q);
   let t3 = env.Scm.Env.now () in
+  if pool.txprof != None then prof_phase th Obs.Txprof.ph_write_back;
   release_locks tx ~committed:true ~version:cts;
   (match pmchk th with
   | None -> ()
@@ -776,6 +842,7 @@ let commit_undo tx =
   let cts = Timestamp.next pool.ts env in
   (* same validate-before-cts window as {!commit_redo} *)
   if not (validate tx) then raise Abort_internal;
+  if pool.txprof != None then prof_phase th Obs.Txprof.ph_validate;
   (* new values are already in place; make them durable, then the
      atomic log truncation is the commit point.  The per-store log
      appends were charged eagerly in {!store}, so log_write is 0. *)
@@ -783,8 +850,11 @@ let commit_undo tx =
   let n = sorted_addrs_of th tx.old_vals in
   flush_sorted_lines th.view th.sorted n;
   let t1 = env.Scm.Env.now () in
+  if pool.txprof != None then prof_phase th Obs.Txprof.ph_write_back;
   Pmlog.Rawl.truncate_all th.log;
+  if th.cur_txid <> 0 then Obs.flow pool.obs ~phase:`End ~id:th.cur_txid;
   let t2 = env.Scm.Env.now () in
+  if pool.txprof != None then prof_phase th Obs.Txprof.ph_fence;
   release_locks tx ~committed:true ~version:cts;
   (match pmchk th with
   | None -> ()
@@ -817,10 +887,26 @@ let history_record tx ~cts ~read_only =
   in
   History.Commit { History.tid = th.id; cts; read_only; reads; writes }
 
+(* Close the ledger entry: the residual since the last mark is commit
+   bookkeeping ("other"), so the phases partition [start, mark] exactly
+   and the entry's phase sum equals its total. *)
+let prof_record tx ~writes =
+  match tx.th.pool.txprof with
+  | None -> ()
+  | Some tp ->
+      let th = tx.th in
+      prof_phase th Obs.Txprof.ph_other;
+      Obs.Txprof.record tp ~txid:th.cur_txid ~tid:th.id
+        ~start_ts:th.prof_start
+        ~total_ns:(th.prof_mark - th.prof_start)
+        ~retries:th.prof_retries ~bytes_logged:th.prof_bytes ~writes
+        ~phases:th.prof_phases
+
 let commit tx =
   let pool = tx.th.pool in
   let env = tx.th.view.Pmem.env in
   let t0 = env.Scm.Env.now () in
+  if pool.txprof != None then prof_phase tx.th Obs.Txprof.ph_exec;
   delay tx (latency tx).txn_commit_ns;
   let read_only =
     match pool.cfg.version_mgmt with
@@ -835,6 +921,7 @@ let commit tx =
         (* a read-only commit observed the snapshot at [rv]: it orders
            directly after the writer whose cts it validated against *)
         emit (history_record tx ~cts:tx.rv ~read_only:true));
+    prof_record tx ~writes:0;
     true
   end
   else if not (validate tx) then false
@@ -857,6 +944,7 @@ let commit tx =
     Obs.Metrics.record pool.h_write_back wb;
     Obs.Metrics.record pool.h_stm (max 0 (total - lw - fe - wb));
     Obs.complete pool.obs Obs.Trace.Txn_commit ~ts:t0 ~dur:total ~arg:ws_size;
+    prof_record tx ~writes:ws_size;
     pool.commits <- pool.commits + 1;
     (match pool.history with
     | None -> ()
@@ -892,10 +980,33 @@ let run th f =
   | Some tx -> f tx  (* flat nesting *)
   | None ->
       let pool = th.pool in
+      let env = th.view.Pmem.env in
       Obs.set_tid pool.obs th.id;
+      (* Stamp a fresh transaction id down the stack: the log and the
+         access layer attribute appends — and the write-backs and
+         drains they later cause — to it.  Plain int stores: no
+         simulated time, no rng, no allocation, so the default
+         schedule and sim figures are untouched. *)
+      pool.next_txid <- pool.next_txid + 1;
+      let txid = pool.next_txid in
+      th.cur_txid <- txid;
+      env.Scm.Env.cur_txid <- txid;
+      Pmlog.Rawl.set_owner th.log txid;
+      (if pool.txprof != None then begin
+         Array.fill th.prof_phases 0 Obs.Txprof.nphases 0;
+         let now = env.Scm.Env.now () in
+         th.prof_start <- now;
+         th.prof_mark <- now;
+         th.prof_stall_ns <- 0;
+         th.prof_retries <- 0;
+         th.prof_bytes <- 0
+       end);
       let rec attempt n =
         if n > pool.cfg.max_attempts then begin
           pool.contention_failures <- pool.contention_failures + 1;
+          th.cur_txid <- 0;
+          env.Scm.Env.cur_txid <- 0;
+          Pmlog.Rawl.set_owner th.log 0;
           raise Contention
         end;
         th.view.Pmem.env.delay (th.view.Pmem.env.machine.latency.txn_begin_ns);
@@ -904,6 +1015,12 @@ let run th f =
         th.current <- Some tx;
         let finish_abort () =
           th.current <- None;
+          (if pool.txprof != None then begin
+             (* the failed attempt's work was execution; rollback and
+                the delay below are backoff *)
+             prof_phase th Obs.Txprof.ph_exec;
+             th.prof_retries <- th.prof_retries + 1
+           end);
           rollback tx;
           Obs.instant pool.obs Obs.Trace.Txn_abort ~arg:n;
           (match pool.history with
@@ -921,6 +1038,7 @@ let run th f =
             | None -> Random.State.int th.rng 4
           in
           th.view.Pmem.env.delay (100 * n * (1 + jitter));
+          if pool.txprof != None then prof_phase th Obs.Txprof.ph_backoff;
           attempt (n + 1)
         in
         match f tx with
@@ -934,6 +1052,9 @@ let run th f =
             in
             if committed then begin
               th.current <- None;
+              th.cur_txid <- 0;
+              env.Scm.Env.cur_txid <- 0;
+              Pmlog.Rawl.set_owner th.log 0;
               result
             end
             else finish_abort ()
@@ -948,6 +1069,9 @@ let run th f =
         | exception e ->
             th.current <- None;
             rollback tx;
+            th.cur_txid <- 0;
+            env.Scm.Env.cur_txid <- 0;
+            Pmlog.Rawl.set_owner th.log 0;
             raise e
       in
       attempt 1

@@ -191,3 +191,15 @@ val set_backoff_draw : pool -> (int -> int) option -> unit
 (** When set, the randomized retry-backoff jitter is drawn through this
     function (give it {!Sim.Schedule.draw}) instead of the thread-local
     rng, so a recorded schedule replays the exact backoff delays. *)
+
+val set_txprof : pool -> Obs.Txprof.t option -> unit
+(** Install a per-transaction profile ledger ([None] by default, same
+    one-branch discipline as the exploration hooks).  When set, every
+    commit — read-only included — records a phase-partitioned profile
+    entry: execution, validation, log encode+append, fence, write-back,
+    truncation wait, backoff, and residual bookkeeping sum exactly to
+    the transaction's duration (first attempt begin to commit return).
+    Maintaining the ledger reads the simulated clock but never charges
+    time, draws randomness, or allocates on the steady-state path. *)
+
+val txprof : pool -> Obs.Txprof.t option

@@ -1,0 +1,74 @@
+(* The always-on flight recorder: a small fixed ring of preallocated
+   entries with mutable int fields.  Recording is five int stores and
+   two counter bumps — no allocation, no simulated-time charge, no
+   randomness — so it can stay on under every run, including the
+   bit-identity-checked benchmarks and crash sweeps.  When a failure
+   surfaces (crash divergence, serializability violation, pmcheck
+   report), the last-N events explain what the machine was doing. *)
+
+type entry = {
+  mutable e_code : int;  (* Trace.kind_code, or 20..22 for flow *)
+  mutable e_ts : int;
+  mutable e_dur : int;  (* -1 = instant *)
+  mutable e_tid : int;
+  mutable e_arg : int;
+}
+
+type t = {
+  cap : int;
+  ring : entry array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Flight.create: capacity";
+  {
+    cap = capacity;
+    ring =
+      Array.init capacity (fun _ ->
+          { e_code = -1; e_ts = 0; e_dur = -1; e_tid = 0; e_arg = 0 });
+    next = 0;
+    total = 0;
+  }
+
+let[@inline] record t ~code ~ts ~dur ~tid ~arg =
+  let e = Array.unsafe_get t.ring t.next in
+  e.e_code <- code;
+  e.e_ts <- ts;
+  e.e_dur <- dur;
+  e.e_tid <- tid;
+  e.e_arg <- arg;
+  let n = t.next + 1 in
+  t.next <- (if n = t.cap then 0 else n);
+  t.total <- t.total + 1
+
+let capacity t = t.cap
+let total t = t.total
+let length t = min t.total t.cap
+
+let iter_oldest_first t f =
+  let len = length t in
+  let start = (t.next - len + t.cap) mod t.cap in
+  for i = 0 to len - 1 do
+    f t.ring.((start + i) mod t.cap)
+  done
+
+let dump t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "flight recorder: last %d of %d events (oldest first, sim ns)\n"
+       (length t) t.total);
+  Buffer.add_string buf
+    (Printf.sprintf "%12s %5s %-18s %12s %14s\n" "ts" "tid" "event" "dur"
+       "arg");
+  iter_oldest_first t (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%12d %5d %-18s %12s %14d\n" e.e_ts e.e_tid
+           (Trace.code_name e.e_code)
+           (if e.e_dur < 0 then "-" else string_of_int e.e_dur)
+           e.e_arg));
+  Buffer.contents buf

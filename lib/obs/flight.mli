@@ -1,0 +1,44 @@
+(** Always-on flight recorder: a fixed ring of the most recent events.
+
+    Unlike the opt-in {!Trace} ring — which allocates an event record
+    per emission and is sized for whole-run export — the flight ring is
+    small and its entries are preallocated with mutable fields, so
+    recording is a handful of int stores: no allocation, no
+    simulated-time charge, no randomness.  It therefore stays on under
+    every run without perturbing allocation budgets, simulated figures
+    or crash-point indices, and when a run fails its last-N events are
+    available for the failure report. *)
+
+type entry = {
+  mutable e_code : int;
+      (** {!Trace.kind_code} of the event, or 20..22 for causal flow
+          start/step/end (see {!Trace.code_name}). *)
+  mutable e_ts : int;  (** simulated ns *)
+  mutable e_dur : int;  (** simulated ns; [-1] marks an instant *)
+  mutable e_tid : int;
+  mutable e_arg : int;
+}
+
+type t
+
+val default_capacity : int
+(** 256 entries. *)
+
+val create : ?capacity:int -> unit -> t
+
+val record : t -> code:int -> ts:int -> dur:int -> tid:int -> arg:int -> unit
+(** Overwrite the oldest slot in place.  Allocation-free. *)
+
+val capacity : t -> int
+
+val total : t -> int
+(** Events ever recorded (not just those still held). *)
+
+val length : t -> int
+(** Events currently held, at most [capacity]. *)
+
+val iter_oldest_first : t -> (entry -> unit) -> unit
+(** The entries passed are the live ring slots; do not retain them. *)
+
+val dump : t -> string
+(** Human-readable table of the held events, oldest first. *)

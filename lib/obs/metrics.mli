@@ -12,10 +12,11 @@
     bucket array once — O(buckets), independent of the sample count. *)
 
 type counter
+type gauge
 type histogram
 
 type t
-(** A registry: each named counter or histogram exists once. *)
+(** A registry: each named counter, gauge or histogram exists once. *)
 
 val create : unit -> t
 
@@ -27,6 +28,28 @@ val counter : t -> string -> counter
 val incr : ?by:int -> counter -> unit
 val counter_value : counter -> int
 val counter_name : counter -> string
+
+(** {1 Gauges}
+
+    A gauge is a point-in-time value sampled on demand — cache
+    occupancy, log fill, wear level — as opposed to a cumulative
+    counter.  The gauge holds a sampling closure over the live data
+    structure, so reading it never requires the instrumented code to
+    push updates: registration is one closure store and steady-state
+    cost is zero. *)
+
+val gauge : t -> string -> gauge
+(** Get or create the named gauge (sampling 0 until {!set_gauge}). *)
+
+val set_gauge : gauge -> (unit -> int) -> unit
+(** Point the gauge at its subject.  Last call wins, which is the
+    desired behaviour when a structure is re-created (e.g. a log
+    re-attached after recovery). *)
+
+val gauge_value : gauge -> int
+(** Sample the gauge now. *)
+
+val gauge_name : gauge -> string
 
 (** {1 Histograms} *)
 
@@ -66,8 +89,55 @@ val hreset : histogram -> unit
 val iter_counters : t -> (counter -> unit) -> unit
 (** Ascending name order. *)
 
+val iter_gauges : t -> (gauge -> unit) -> unit
+(** Ascending name order. *)
+
 val iter_histograms : t -> (histogram -> unit) -> unit
 (** Ascending name order. *)
 
 val dump : t -> string
-(** Human-readable table of every counter and histogram. *)
+(** Human-readable table of every counter, gauge and histogram. *)
+
+(** {1 Snapshots and export}
+
+    A snapshot is an immutable copy of the registry at one instant:
+    counters and gauges as [(name, value)] pairs, histograms reduced to
+    count/sum/min/max/mean and fixed tail quantiles.  Gauges are
+    sampled at snapshot time. *)
+
+type hist_snapshot = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;
+  hs_max : int;
+  hs_mean : float;
+  hs_p50 : int;
+  hs_p90 : int;
+  hs_p99 : int;
+  hs_p999 : int;
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;  (** Ascending name order. *)
+  snap_gauges : (string * int) list;  (** Ascending name order. *)
+  snap_histograms : hist_snapshot list;  (** Ascending name order. *)
+}
+
+val snapshot : t -> snapshot
+
+val snapshot_to_json : snapshot -> string
+(** A JSON document: [{"counters": {..}, "gauges": {..},
+    "histograms": {name: {count, sum, min, max, mean, p50, p90, p99,
+    p999}}}]. *)
+
+val to_json : t -> string
+(** [snapshot_to_json (snapshot t)]. *)
+
+val snapshot_to_openmetrics : snapshot -> string
+(** OpenMetrics-style text exposition: counters as [name_total],
+    gauges plain, histograms as summaries with [quantile] labels;
+    names sanitized to the metric-name alphabet; ends with [# EOF]. *)
+
+val to_openmetrics : t -> string
+(** [snapshot_to_openmetrics (snapshot t)]. *)

@@ -1,16 +1,20 @@
 module Metrics = Metrics
 module Trace = Trace
+module Flight = Flight
+module Txprof = Txprof
 
 type t = {
   metrics : Metrics.t;
+  flight : Flight.t;
   mutable trace : Trace.t option;
   mutable clock : unit -> int;
   mutable cur_tid : int;
 }
 
-let create ?(tracing = false) ?trace_capacity () =
+let create ?(tracing = false) ?trace_capacity ?flight_capacity () =
   {
     metrics = Metrics.create ();
+    flight = Flight.create ?capacity:flight_capacity ();
     trace =
       (if tracing then Some (Trace.create ?capacity:trace_capacity ())
        else None);
@@ -28,28 +32,59 @@ let set_clock t f = t.clock <- f
 let now t = t.clock ()
 let set_tid t tid = t.cur_tid <- tid
 
+(* Every emitter feeds the always-on flight ring first (plain int
+   stores into preallocated slots), then the opt-in trace behind its
+   one-branch guard.  Neither charges simulated time. *)
+
 let instant t kind ~arg =
+  let ts = t.clock () in
+  Flight.record t.flight ~code:(Trace.kind_code kind) ~ts ~dur:(-1)
+    ~tid:t.cur_tid ~arg;
   match t.trace with
   | None -> ()
-  | Some tr -> Trace.instant tr ~tid:t.cur_tid ~ts:(t.clock ()) kind ~arg
+  | Some tr -> Trace.instant tr ~tid:t.cur_tid ~ts kind ~arg
 
 let instant_at t kind ~ts ~arg =
+  Flight.record t.flight ~code:(Trace.kind_code kind) ~ts ~dur:(-1)
+    ~tid:t.cur_tid ~arg;
   match t.trace with
   | None -> ()
   | Some tr -> Trace.instant tr ~tid:t.cur_tid ~ts kind ~arg
 
 let complete t kind ~ts ~dur ~arg =
+  Flight.record t.flight ~code:(Trace.kind_code kind) ~ts ~dur ~tid:t.cur_tid
+    ~arg;
   match t.trace with
   | None -> ()
   | Some tr -> Trace.complete tr ~tid:t.cur_tid ~ts ~dur kind ~arg
 
 let span t kind ~arg f =
+  let ts = t.clock () in
+  let result = f () in
+  let dur = max 0 (t.clock () - ts) in
+  Flight.record t.flight ~code:(Trace.kind_code kind) ~ts ~dur ~tid:t.cur_tid
+    ~arg;
+  (match t.trace with
+  | None -> ()
+  | Some tr -> Trace.complete tr ~tid:t.cur_tid ~ts ~dur kind ~arg);
+  result
+
+(* Causal flow stamps: codes 20..22 in the flight ring, Chrome flow
+   events in the trace. *)
+
+let flow_code = function `Start -> 20 | `Step -> 21 | `End -> 22
+
+let flow t ~phase ~id =
+  let ts = t.clock () in
+  Flight.record t.flight ~code:(flow_code phase) ~ts ~dur:(-1) ~tid:t.cur_tid
+    ~arg:id;
   match t.trace with
-  | None -> f ()
-  | Some tr ->
-      let ts = t.clock () in
-      let result = f () in
-      Trace.complete tr ~tid:t.cur_tid ~ts
-        ~dur:(max 0 (t.clock () - ts))
-        kind ~arg;
-      result
+  | None -> ()
+  | Some tr -> Trace.flow tr ~tid:t.cur_tid ~ts ~phase ~id
+
+let flight_dump t =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Flight.dump t.flight);
+  Buffer.add_string buf "\nmetrics snapshot:\n";
+  Buffer.add_string buf (Metrics.dump t.metrics);
+  Buffer.contents buf

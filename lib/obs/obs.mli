@@ -1,12 +1,15 @@
-(** Observability: one handle bundling a metrics registry, an optional
-    event trace, and the simulated clock they are stamped with.
+(** Observability: one handle bundling a metrics registry, an
+    always-on flight recorder, an optional event trace, and the
+    simulated clock they are stamped with.
 
     One [Obs.t] belongs to one simulated machine ({!Scm.Env.machine})
     and is threaded through every layer above it.  Metrics are always
     live — recording them never charges simulated time, so they cannot
-    perturb an experiment.  Tracing is off by default; every
-    instrumentation hook is guarded so that a disabled trace costs a
-    single branch ([trace t = None]).
+    perturb an experiment.  The flight recorder is likewise always on:
+    every emitted event lands in its small preallocated ring with no
+    allocation, so the most recent window is available when a run
+    fails.  Tracing is off by default; the full trace ring only
+    records behind its one-branch guard.
 
     Timestamps come either from the caller (layers that hold an
     {!Scm.Env.t} pass [env.now ()] explicitly) or from the handle's
@@ -17,16 +20,21 @@
 
 module Metrics = Metrics
 module Trace = Trace
+module Flight = Flight
+module Txprof = Txprof
 
 type t = {
   metrics : Metrics.t;
+  flight : Flight.t;
   mutable trace : Trace.t option;
   mutable clock : unit -> int;
   mutable cur_tid : int;
 }
 
-val create : ?tracing:bool -> ?trace_capacity:int -> unit -> t
-(** A fresh handle; metrics on, trace off unless [tracing]. *)
+val create :
+  ?tracing:bool -> ?trace_capacity:int -> ?flight_capacity:int -> unit -> t
+(** A fresh handle; metrics and flight recorder on, trace off unless
+    [tracing]. *)
 
 val tracing : t -> bool
 val enable_trace : ?capacity:int -> t -> unit
@@ -39,9 +47,11 @@ val set_tid : t -> int -> unit
 (** Set the current track; cooperative simulated threads set this when
     they are scheduled so events land on their track. *)
 
-(** {1 Guarded emitters}
+(** {1 Emitters}
 
-    Each is a no-op (one branch) when tracing is disabled. *)
+    Each feeds the always-on flight ring (a handful of int stores,
+    no allocation), then the opt-in trace behind a one-branch guard.
+    None charges simulated time. *)
 
 val instant : t -> Trace.kind -> arg:int -> unit
 (** Instant event stamped with the handle's clock. *)
@@ -50,5 +60,14 @@ val instant_at : t -> Trace.kind -> ts:int -> arg:int -> unit
 val complete : t -> Trace.kind -> ts:int -> dur:int -> arg:int -> unit
 
 val span : t -> Trace.kind -> arg:int -> (unit -> 'a) -> 'a
-(** Run the thunk; when tracing, record one complete event covering
-    it (timestamps from the handle's clock). *)
+(** Run the thunk; record one complete event covering it (timestamps
+    from the handle's clock). *)
+
+val flow : t -> phase:[ `Start | `Step | `End ] -> id:int -> unit
+(** Record one causal flow stamp for transaction [id] at the handle's
+    clock: flight codes 20..22 always, a Chrome flow event when
+    tracing.  See {!Trace.flow}. *)
+
+val flight_dump : t -> string
+(** The failure-report payload: the flight ring's last-N events plus a
+    metrics snapshot, both human-readable. *)

@@ -17,6 +17,7 @@ type kind =
   | Swap_out
   | Sched_decision
   | Pmcheck_violation
+  | Txn_flow
   | Phase of string
 
 let kind_name = function
@@ -38,7 +39,61 @@ let kind_name = function
   | Swap_out -> "Swap_out"
   | Sched_decision -> "Sched_decision"
   | Pmcheck_violation -> "Pmcheck_violation"
+  | Txn_flow -> "Txn_flow"
   | Phase s -> s
+
+(* Stable small-integer codes for the allocation-free flight recorder,
+   which cannot store the kind constructors themselves (a [Phase]
+   payload would have to be retained). *)
+let kind_code = function
+  | Txn_begin -> 0
+  | Txn_commit -> 1
+  | Txn_abort -> 2
+  | Txn_retry -> 3
+  | Fence -> 4
+  | Flush -> 5
+  | Wc_drain -> 6
+  | Cache_evict -> 7
+  | Log_append -> 8
+  | Log_truncate -> 9
+  | Log_stall -> 10
+  | Recovery_replay -> 11
+  | Heap_alloc -> 12
+  | Heap_free -> 13
+  | Swap_in -> 14
+  | Swap_out -> 15
+  | Sched_decision -> 16
+  | Pmcheck_violation -> 17
+  | Txn_flow -> 18
+  | Phase _ -> 19
+
+(* 20..22 are reserved by Obs for flow start/step/end pushed straight
+   into the flight ring. *)
+let code_name = function
+  | 0 -> "Txn_begin"
+  | 1 -> "Txn_commit"
+  | 2 -> "Txn_abort"
+  | 3 -> "Txn_retry"
+  | 4 -> "Fence"
+  | 5 -> "Flush"
+  | 6 -> "Wc_drain"
+  | 7 -> "Cache_evict"
+  | 8 -> "Log_append"
+  | 9 -> "Log_truncate"
+  | 10 -> "Log_stall"
+  | 11 -> "Recovery_replay"
+  | 12 -> "Heap_alloc"
+  | 13 -> "Heap_free"
+  | 14 -> "Swap_in"
+  | 15 -> "Swap_out"
+  | 16 -> "Sched_decision"
+  | 17 -> "Pmcheck_violation"
+  | 18 -> "Txn_flow"
+  | 19 -> "Phase"
+  | 20 -> "Flow_start"
+  | 21 -> "Flow_step"
+  | 22 -> "Flow_end"
+  | _ -> "?"
 
 let arg_label = function
   | Fence | Heap_alloc -> "bytes"
@@ -51,11 +106,23 @@ let arg_label = function
   | Swap_in | Swap_out -> "frame"
   | Sched_decision -> "key"
   | Pmcheck_violation -> "addr"
+  | Txn_flow -> "txid"
   | Phase _ -> "value"
 
-type event = { kind : kind; ts : int; dur : int; tid : int; arg : int }
+(* [flow] distinguishes the Chrome flow-event phases that stitch a
+   transaction's deferred work back to it: 0 = not a flow event,
+   1 = start ("s"), 2 = step ("t"), 3 = end ("f").  The flow id — the
+   owning transaction id — travels in [arg]. *)
+type event = {
+  kind : kind;
+  ts : int;
+  dur : int;
+  tid : int;
+  arg : int;
+  flow : int;
+}
 
-let dummy = { kind = Fence; ts = 0; dur = -1; tid = 0; arg = 0 }
+let dummy = { kind = Fence; ts = 0; dur = -1; tid = 0; arg = 0; flow = 0 }
 
 type t = {
   cap : int;
@@ -92,8 +159,24 @@ let push t ev =
   t.next <- (t.next + 1) mod t.cap;
   if t.len < t.cap then t.len <- t.len + 1 else t.n_dropped <- t.n_dropped + 1
 
-let instant t ~tid ~ts kind ~arg = push t { kind; ts; dur = -1; tid; arg }
-let complete t ~tid ~ts ~dur kind ~arg = push t { kind; ts; dur; tid; arg }
+let instant t ~tid ~ts kind ~arg =
+  push t { kind; ts; dur = -1; tid; arg; flow = 0 }
+
+let complete t ~tid ~ts ~dur kind ~arg =
+  push t { kind; ts; dur; tid; arg; flow = 0 }
+
+let flow_phase_code = function `Start -> 1 | `Step -> 2 | `End -> 3
+
+let flow t ~tid ~ts ~phase ~id =
+  push t
+    {
+      kind = Txn_flow;
+      ts;
+      dur = -1;
+      tid;
+      arg = id;
+      flow = flow_phase_code phase;
+    }
 
 let begin_span t ~tid ~ts kind ~arg =
   let stack =
@@ -142,17 +225,33 @@ let escape s =
   Buffer.contents buf
 
 let event_json buf ev =
-  Buffer.add_string buf
-    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"mnemosyne\",\"ph\":\"%s\""
-       (escape (kind_name ev.kind))
-       (if ev.dur < 0 then "i" else "X"));
-  if ev.dur < 0 then Buffer.add_string buf ",\"s\":\"t\""
-  else Buffer.add_string buf (Printf.sprintf ",\"dur\":%s" (us ev.dur));
-  Buffer.add_string buf
-    (Printf.sprintf ",\"ts\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"%s\":%d}}"
-       (us ev.ts) ev.tid
-       (escape (arg_label ev.kind))
-       ev.arg)
+  if ev.flow > 0 then begin
+    (* Flow events bind on (cat, name, id): every phase of one
+       transaction's flow shares name "txn" and id = txid.  The end
+       event binds to the enclosing slice ("bp":"e") so the arrow
+       lands on the span that retired the work. *)
+    Buffer.add_string buf
+      (Printf.sprintf "{\"name\":\"txn\",\"cat\":\"flow\",\"ph\":\"%s\""
+         (match ev.flow with 1 -> "s" | 2 -> "t" | _ -> "f"));
+    if ev.flow = 3 then Buffer.add_string buf ",\"bp\":\"e\"";
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\"id\":%d,\"ts\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"txid\":%d}}"
+         ev.arg (us ev.ts) ev.tid ev.arg)
+  end
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"mnemosyne\",\"ph\":\"%s\""
+         (escape (kind_name ev.kind))
+         (if ev.dur < 0 then "i" else "X"));
+    if ev.dur < 0 then Buffer.add_string buf ",\"s\":\"t\""
+    else Buffer.add_string buf (Printf.sprintf ",\"dur\":%s" (us ev.dur));
+    Buffer.add_string buf
+      (Printf.sprintf ",\"ts\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"%s\":%d}}"
+         (us ev.ts) ev.tid
+         (escape (arg_label ev.kind))
+         ev.arg)
+  end
 
 let to_chrome_json t =
   let buf = Buffer.create (256 * (t.len + 2)) in
@@ -176,6 +275,18 @@ let to_chrome_json t =
        "\n],\"otherData\":{\"clock\":\"simulated\",\"dropped_events\":%d}}\n"
        t.n_dropped);
   Buffer.contents buf
+
+(* The one place traces reach disk: every saver shares the
+   dropped-event warning, so a silently truncated trace is always
+   visible on stderr as well as in the JSON metadata above. *)
+let save_chrome t path =
+  let oc = open_out path in
+  output_string oc (to_chrome_json t);
+  close_out oc;
+  if t.n_dropped > 0 then
+    Printf.eprintf
+      "warning: trace %s dropped %d oldest events (ring capacity %d)\n%!"
+      path t.n_dropped t.cap
 
 (* ------------------------------------------------------------------ *)
 (* Plain-text rollup                                                   *)

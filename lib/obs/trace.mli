@@ -35,18 +35,33 @@ type kind =
   | Pmcheck_violation
       (** The durability sanitizer detected a rule violation; the
           argument is the offending virtual word address. *)
+  | Txn_flow
+      (** A causal flow stamp: the argument is the owning transaction
+          id, linking a transaction's log append to the deferred work
+          (truncation, write-back, drain) it caused. *)
   | Phase of string  (** A named span, for ad-hoc instrumentation. *)
 
 val kind_name : kind -> string
 val arg_label : kind -> string
 (** The JSON key under which the event's payload argument appears. *)
 
+val kind_code : kind -> int
+(** A stable small-integer code for the kind, for storage in
+    allocation-free rings (the flight recorder). *)
+
+val code_name : int -> string
+(** Inverse of {!kind_code} for display; also names the codes 20–22
+    reserved for flow start/step/end flight entries. *)
+
 type event = {
   kind : kind;
   ts : int;  (** simulated ns *)
   dur : int;  (** simulated ns; [-1] marks an instant event *)
   tid : int;
-  arg : int;
+  arg : int;  (** payload; the flow id (txid) when [flow > 0] *)
+  flow : int;
+      (** 0 = regular event; 1/2/3 = Chrome flow start/step/end
+          stitching deferred work back to the owning transaction. *)
 }
 
 type t
@@ -67,6 +82,14 @@ val clear : t -> unit
 val instant : t -> tid:int -> ts:int -> kind -> arg:int -> unit
 val complete : t -> tid:int -> ts:int -> dur:int -> kind -> arg:int -> unit
 
+val flow :
+  t -> tid:int -> ts:int -> phase:[ `Start | `Step | `End ] -> id:int -> unit
+(** Record one phase of a causal flow whose id is the owning
+    transaction id.  The exporter emits Chrome flow events
+    (["ph":"s"/"t"/"f"], name ["txn"]) that render as arrows from the
+    transaction's log append to its deferred truncation, write-back
+    and drain work. *)
+
 (** {1 Nestable spans}
 
     A per-track stack: [begin_span] remembers the opening timestamp,
@@ -83,6 +106,11 @@ val events : t -> event list
 
 val to_chrome_json : t -> string
 (** The complete JSON document ([{"traceEvents": [...], ...}]). *)
+
+val save_chrome : t -> string -> unit
+(** Write {!to_chrome_json} to the file, then warn on stderr if any
+    events were dropped — the shared save path, so truncated traces
+    are never silent. *)
 
 val summary : t -> string
 (** Flamegraph-style plain-text rollup: per event kind, the count,

@@ -35,6 +35,13 @@ type t = {
      selection; insertion-ordered, removal swaps the last entry in. *)
   members : int array;
   mutable nmembers : int;
+  (* Causal attribution: [cur_owner] is the transaction id stamped by
+     the access layer before each store; dirtying a line records it in
+     [owner] so a later write-back can be attributed to the
+     transaction that dirtied the line.  Plain int stores — never
+     simulated time, rng draws, or allocation. *)
+  mutable cur_owner : int;
+  owner : int array;  (* per slot; 0 = unattributed *)
 }
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
@@ -46,24 +53,32 @@ let create ?(line_size = 64) ?(capacity_lines = 8192) ?(seed = 0xcafe) ?obs
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let cp = match cp with Some c -> c | None -> Crashpoint.create () in
   let size = next_pow2 (2 * max 8 capacity_lines) 16 in
-  {
-    dev;
-    line_size;
-    capacity = capacity_lines;
-    mask = size - 1;
-    keys = Array.make size (-1);
-    data = Array.init size (fun _ -> Bytes.create line_size);
-    dirty = Array.make size false;
-    mslot = Array.make size 0;
-    rng = Random.State.make [| seed |];
-    obs;
-    cp;
-    evict_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.cache.evictions";
-    evictions = 0;
-    pmcheck = None;
-    members = Array.make (max 16 capacity_lines) (-1);
-    nmembers = 0;
-  }
+  let t =
+    {
+      dev;
+      line_size;
+      capacity = capacity_lines;
+      mask = size - 1;
+      keys = Array.make size (-1);
+      data = Array.init size (fun _ -> Bytes.create line_size);
+      dirty = Array.make size false;
+      mslot = Array.make size 0;
+      rng = Random.State.make [| seed |];
+      obs;
+      cp;
+      evict_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.cache.evictions";
+      evictions = 0;
+      pmcheck = None;
+      members = Array.make (max 16 capacity_lines) (-1);
+      nmembers = 0;
+      cur_owner = 0;
+      owner = Array.make size 0;
+    }
+  in
+  Obs.Metrics.set_gauge
+    (Obs.Metrics.gauge obs.Obs.metrics "scm.cache.resident_lines")
+    (fun () -> t.nmembers);
+  t
 
 let line_size t = t.line_size
 let line_base t addr = addr - (addr mod t.line_size)
@@ -124,23 +139,33 @@ let table_delete t slot =
     if dist_home >= dist_hole then begin
       t.keys.(!hole) <- t.keys.(!j);
       t.dirty.(!hole) <- t.dirty.(!j);
+      t.owner.(!hole) <- t.owner.(!j);
       t.mslot.(!hole) <- t.mslot.(!j);
       let tmp = t.data.(!hole) in
       t.data.(!hole) <- t.data.(!j);
       t.data.(!j) <- tmp;
       t.keys.(!j) <- -1;
       t.dirty.(!j) <- false;
+      t.owner.(!j) <- 0;
       hole := !j
     end;
     j := (!j + 1) land mask
   done
 
 let set_pmcheck t c = t.pmcheck <- c
+let set_owner t txid = t.cur_owner <- txid
 
 let write_back t base slot =
   Crashpoint.tick t.cp Crashpoint.Cache_writeback;
   Scm_device.write_from t.dev base t.data.(slot) 0 t.line_size;
   t.dirty.(slot) <- false;
+  (* Attribute the deferred write-back to the transaction that dirtied
+     the line; only when tracing, so the common path stays one
+     branch. *)
+  if t.owner.(slot) <> 0 then begin
+    if Obs.tracing t.obs then Obs.flow t.obs ~phase:`Step ~id:t.owner.(slot);
+    t.owner.(slot) <- 0
+  end;
   match t.pmcheck with
   | None -> ()
   | Some chk -> Pmcheck.device_reach_line chk base t.line_size
@@ -169,6 +194,7 @@ let get_line t base =
     let slot = free_slot t base in
     t.keys.(slot) <- base;
     t.dirty.(slot) <- false;
+    t.owner.(slot) <- 0;
     Scm_device.read_into t.dev base t.data.(slot) 0 t.line_size;
     member_add t base slot;
     slot
@@ -194,7 +220,8 @@ let write_word t addr v =
   let base = line_base t addr in
   let slot = get_line t base in
   Word.set t.data.(slot) (addr - base) v;
-  t.dirty.(slot) <- true
+  t.dirty.(slot) <- true;
+  t.owner.(slot) <- t.cur_owner
 
 let rec read_into t addr buf off len =
   if len > 0 then begin
@@ -214,6 +241,7 @@ let rec write_from t addr buf off len =
     let n = min len (t.line_size - within) in
     Bytes.blit buf off t.data.(slot) within n;
     t.dirty.(slot) <- true;
+    t.owner.(slot) <- t.cur_owner;
     write_from t (addr + n) buf (off + n) (len - n)
   end
 

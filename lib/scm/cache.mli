@@ -86,3 +86,11 @@ val set_pmcheck : t -> Pmcheck.t option -> unit
 (** Attach (or detach, with [None]) a durability sanitizer: every line
     write-back reports a device-reach event to it.  Installed via
     {!Env.install_pmcheck}. *)
+
+val set_owner : t -> int -> unit
+(** Stamp the transaction id that subsequent stores dirty lines on
+    behalf of (0 = unattributed).  The access layer sets it before each
+    cached store; a later write-back of the line emits a causal flow
+    step attributing the deferred work back to that transaction when
+    tracing.  Plain int stores: no simulated time, rng, or
+    allocation. *)

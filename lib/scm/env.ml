@@ -23,7 +23,26 @@ type t = {
   wc : Wc_buffer.t;
   delay : int -> unit;
   now : unit -> int;
+  mutable cur_txid : int;
+      (* the transaction currently running on this thread, stamped by
+         the STM layer; 0 = none.  Per-thread (unlike the shared
+         machine), so causal attribution of stores is race-free under
+         any interleaving *)
 }
+
+(* Point-in-time device gauges: wear is sampled on demand by
+   snapshots (an O(nframes) sweep then, nothing in the steady state).
+   The cache registers its own occupancy gauge at creation. *)
+let register_dev_gauges obs dev =
+  Obs.Metrics.set_gauge
+    (Obs.Metrics.gauge obs.Obs.metrics "scm.dev.max_wear")
+    (fun () ->
+      let worst = ref 0 in
+      for f = 0 to Scm_device.nframes dev - 1 do
+        let w = Scm_device.write_count dev f in
+        if w > !worst then worst := w
+      done;
+      !worst)
 
 let make_machine ?(latency = Latency_model.default) ?cache_capacity_lines
     ?(seed = 42) ?obs ?crash_point ~nframes () =
@@ -35,6 +54,7 @@ let make_machine ?(latency = Latency_model.default) ?cache_capacity_lines
   let cache =
     Cache.create ?capacity_lines:cache_capacity_lines ~seed ~obs ~cp dev
   in
+  register_dev_gauges obs dev;
   {
     dev;
     cache;
@@ -61,6 +81,7 @@ let machine_of_device ?(latency = Latency_model.default) ?cache_capacity_lines
   let cache =
     Cache.create ?capacity_lines:cache_capacity_lines ~seed ~obs ~cp dev
   in
+  register_dev_gauges obs dev;
   {
     dev;
     cache;
@@ -123,10 +144,11 @@ let standalone machine =
     wc = attach_wc machine;
     delay = (fun ns -> clock := !clock + ns);
     now;
+    cur_txid = 0;
   }
 
 let view machine ~delay ~now =
   Obs.set_clock machine.obs now;
-  { machine; wc = attach_wc machine; delay; now }
+  { machine; wc = attach_wc machine; delay; now; cur_txid = 0 }
 
 let elapsed_ns t = t.now ()

@@ -53,6 +53,13 @@ type t = {
   wc : Wc_buffer.t;
   delay : int -> unit;   (** Charge simulated nanoseconds. *)
   now : unit -> int;     (** Current simulated time. *)
+  mutable cur_txid : int;
+      (** The transaction currently running on this thread (0 = none),
+          stamped by the STM layer so the access layer can attribute
+          stores — and the deferred write-backs and drains they cause —
+          to their owning transaction.  Per-thread, hence race-free
+          under any simulated interleaving; maintaining it is plain int
+          stores, never simulated time. *)
 }
 
 val make_machine :

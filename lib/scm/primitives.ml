@@ -34,6 +34,9 @@ let load_nt (env : Env.t) addr =
 let store (env : Env.t) addr v =
   env.delay env.machine.latency.cache_hit_ns;
   if not (Wc_buffer.is_empty env.wc) then drain_if_pending env addr;
+  (* The cache is shared between threads: re-stamp the owner on each
+     store so attribution survives interleaving. *)
+  Cache.set_owner env.machine.cache env.cur_txid;
   Cache.write_word env.machine.cache addr v
 
 let wtstore (env : Env.t) addr v =
@@ -42,6 +45,7 @@ let wtstore (env : Env.t) addr v =
      does not later overwrite the streamed data, and that subsequent
      cached loads do not see stale data. *)
   Cache.wt_invalidate env.machine.cache addr;
+  Wc_buffer.set_owner env.wc env.cur_txid;
   Wc_buffer.post env.wc addr v
 
 (* PCM media writes pass through the single memory controller: a
@@ -128,6 +132,7 @@ let store_bytes (env : Env.t) addr buf off len =
     done;
     if !overlap then Wc_buffer.drain env.wc
   end;
+  Cache.set_owner env.machine.cache env.cur_txid;
   Cache.write_from env.machine.cache addr buf off len
 
 let wtstore_bytes (env : Env.t) addr buf off len =

@@ -11,10 +11,14 @@ type t = {
   dev : Scm_device.t;
   mutable o_addrs : int array;  (* pending stores, program order *)
   mutable o_vals : Bytes.t;  (* 8 bytes per pending store *)
+  mutable o_txids : int array;  (* owning txn per pending store; 0 = none *)
   mutable n : int;
   obs : Obs.t;
   cp : Crashpoint.t;
   drain_ctr : Obs.Metrics.counter;
+  mutable cur_owner : int;
+      (* txn id stamped on posts, set by the access layer; attribution
+         only — plain int stores, never simulated time *)
   mutable pmcheck : Pmcheck.t option;
       (* durability sanitizer, observing drained words; None (the
          default) costs one branch per drain *)
@@ -29,14 +33,17 @@ let create ?obs ?cp dev =
     dev;
     o_addrs = Array.make 64 0;
     o_vals = Bytes.create (64 * 8);
+    o_txids = Array.make 64 0;
     n = 0;
     obs;
     cp;
     drain_ctr = Obs.Metrics.counter obs.Obs.metrics "scm.wc.drains";
+    cur_owner = 0;
     pmcheck = None;
   }
 
 let set_pmcheck t c = t.pmcheck <- c
+let set_owner t txid = t.cur_owner <- txid
 
 let[@inline] is_empty t = t.n = 0
 
@@ -47,12 +54,14 @@ let post t addr v =
   if t.n = Array.length t.o_addrs then begin
     let size = 2 * t.n in
     t.o_addrs <- Array.append t.o_addrs (Array.make t.n 0);
+    t.o_txids <- Array.append t.o_txids (Array.make t.n 0);
     let vals = Bytes.create (size * 8) in
     Bytes.blit t.o_vals 0 vals 0 (t.n * 8);
     t.o_vals <- vals
   end;
   t.o_addrs.(t.n) <- addr;
   Bytes.set_int64_le t.o_vals (t.n * 8) v;
+  t.o_txids.(t.n) <- t.cur_owner;
   t.n <- t.n + 1
 
 (* Newest pending value wins, so scan backward from the tail. *)
@@ -80,6 +89,19 @@ let drain t =
     Crashpoint.tick t.cp Crashpoint.Wc_drain;
     Obs.Metrics.incr t.drain_ctr;
     Obs.instant t.obs Obs.Trace.Wc_drain ~arg:t.n;
+    (* One causal flow step per distinct owning transaction in the
+       drained window (posts from one txn are contiguous), tracing
+       only. *)
+    if Obs.tracing t.obs then begin
+      let last = ref 0 in
+      for i = 0 to t.n - 1 do
+        let id = t.o_txids.(i) in
+        if id <> 0 && id <> !last then begin
+          Obs.flow t.obs ~phase:`Step ~id;
+          last := id
+        end
+      done
+    end;
     (match t.pmcheck with
     | None ->
         for i = 0 to t.n - 1 do

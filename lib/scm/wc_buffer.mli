@@ -58,3 +58,10 @@ val set_pmcheck : t -> Pmcheck.t option -> unit
 (** Attach (or detach, with [None]) a durability sanitizer: each word a
     drain writes to the device reports a device-reach event to it.
     Installed via {!Env.install_pmcheck}. *)
+
+val set_owner : t -> int -> unit
+(** Stamp the transaction id subsequent posts belong to (0 = none).
+    Drains emit one causal flow step per distinct owning transaction
+    when tracing, attributing the deferred device writes back to the
+    transactions that issued them.  Plain int stores: no simulated
+    time, rng, or allocation. *)

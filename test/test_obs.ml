@@ -194,6 +194,57 @@ let ns_of_us = function
   | Num us -> int_of_float (Float.round (us *. 1000.0))
   | _ -> failwith "not a number"
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot / JSON export *)
+
+let test_snapshot_json () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "scm.fences" in
+  Obs.Metrics.incr ~by:3 c;
+  Obs.Metrics.set_gauge (Obs.Metrics.gauge m "cache.lines") (fun () -> 42);
+  let h = Obs.Metrics.histogram m "lat_ns" in
+  List.iter (fun v -> Obs.Metrics.record h v) [ 10; 20; 30; 40 ];
+  let snap = Obs.Metrics.snapshot m in
+  Alcotest.(check (list (pair string int)))
+    "counters" [ ("scm.fences", 3) ] snap.Obs.Metrics.snap_counters;
+  Alcotest.(check (list (pair string int)))
+    "gauges sampled at snapshot time" [ ("cache.lines", 42) ]
+    snap.Obs.Metrics.snap_gauges;
+  (match snap.Obs.Metrics.snap_histograms with
+  | [ hs ] ->
+      Alcotest.(check string) "hist name" "lat_ns" hs.Obs.Metrics.hs_name;
+      Alcotest.(check int) "hist count" 4 hs.Obs.Metrics.hs_count;
+      Alcotest.(check int) "hist sum" 100 hs.Obs.Metrics.hs_sum;
+      Alcotest.(check int) "hist min" 10 hs.Obs.Metrics.hs_min;
+      Alcotest.(check int) "hist max" 40 hs.Obs.Metrics.hs_max;
+      Alcotest.(check (float 1e-9)) "hist mean" 25.0 hs.Obs.Metrics.hs_mean
+  | l -> Alcotest.failf "expected 1 histogram, got %d" (List.length l));
+  (* the JSON document round-trips through a real parser *)
+  let doc = parse_json (Obs.Metrics.to_json m) in
+  (match field "scm.fences" (field "counters" doc) with
+  | Num 3.0 -> ()
+  | _ -> Alcotest.fail "json counter");
+  (match field "cache.lines" (field "gauges" doc) with
+  | Num 42.0 -> ()
+  | _ -> Alcotest.fail "json gauge");
+  let hist = field "lat_ns" (field "histograms" doc) in
+  (match (field "count" hist, field "mean" hist) with
+  | Num 4.0, Num 25.0 -> ()
+  | _ -> Alcotest.fail "json histogram");
+  (* OpenMetrics text: counter suffixed _total, dots sanitized *)
+  let om = Obs.Metrics.to_openmetrics m in
+  let contains needle =
+    let n = String.length needle and hn = String.length om in
+    let rec go i =
+      i + n <= hn && (String.sub om i n = needle || go (i + 1))
+    in
+    if not (go 0) then Alcotest.failf "openmetrics missing %S in:\n%s" needle om
+  in
+  contains "scm_fences_total 3";
+  contains "cache_lines 42";
+  contains "lat_ns_count 4";
+  contains "# EOF"
+
 let test_chrome_roundtrip () =
   let tr = Obs.Trace.create () in
   Obs.Trace.complete tr ~tid:3 ~ts:1_234_567 ~dur:89 Obs.Trace.Txn_commit
@@ -217,6 +268,70 @@ let test_chrome_roundtrip () =
   | _ -> Alcotest.fail "args");
   (match field "ph" trunc with Str "i" -> () | _ -> Alcotest.fail "ph i");
   Alcotest.(check int) "instant ts" 2_000_001 (ns_of_us (field "ts" trunc))
+
+(* The causal flow stitching: a transaction id stamped into flow
+   start/step/end events must survive the Chrome export as both the
+   binding id and the args payload, or the arrows in the viewer would
+   connect the wrong transactions. *)
+let test_flow_roundtrip () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.flow tr ~tid:0 ~ts:100 ~phase:`Start ~id:77;
+  Obs.Trace.flow tr ~tid:1 ~ts:200 ~phase:`Step ~id:77;
+  Obs.Trace.flow tr ~tid:2 ~ts:300 ~phase:`End ~id:77;
+  let doc = parse_json (Obs.Trace.to_chrome_json tr) in
+  let evs = match field "traceEvents" doc with Arr l -> l | _ -> [] in
+  Alcotest.(check int) "event count" 3 (List.length evs);
+  let ph e = match field "ph" e with Str s -> s | _ -> "?" in
+  Alcotest.(check (list string)) "flow phases" [ "s"; "t"; "f" ]
+    (List.map ph evs);
+  List.iter
+    (fun e ->
+      (match field "name" e with
+      | Str "txn" -> ()
+      | _ -> Alcotest.fail "flow name");
+      (match field "cat" e with
+      | Str "flow" -> ()
+      | _ -> Alcotest.fail "flow cat");
+      (* Chrome binds flow arrows on (cat, name, id): the id IS the
+         transaction id, and it is repeated in args for hovering *)
+      (match field "id" e with
+      | Num 77.0 -> ()
+      | _ -> Alcotest.fail "flow id = txid");
+      match field "txid" (field "args" e) with
+      | Num 77.0 -> ()
+      | _ -> Alcotest.fail "args txid")
+    evs;
+  (* the end event binds to the enclosing slice *)
+  (match field "bp" (List.nth evs 2) with
+  | Str "e" -> ()
+  | _ -> Alcotest.fail "end binding point");
+  (match List.assoc_opt "bp" (match List.hd evs with Obj o -> o | _ -> []) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "start has no binding point")
+
+(* ------------------------------------------------------------------ *)
+(* Transaction profile ledger *)
+
+(* Top-K admission is a min-heap: feed totals in an adversarial order
+   (ascending run, then descending, duplicates of the cut boundary)
+   and the capture must still hold exactly the K largest, slowest
+   first. *)
+let test_topk_adversarial () =
+  let tp = Obs.Txprof.create ~k:4 (Obs.Metrics.create ()) in
+  let totals = [ 5; 100; 3; 98; 99; 1; 97; 102; 2; 98 ] in
+  List.iteri
+    (fun i total ->
+      let phases = Array.make Obs.Txprof.nphases 0 in
+      phases.(Obs.Txprof.ph_exec) <- total;
+      Obs.Txprof.record tp ~txid:(i + 1) ~tid:0 ~start_ts:0 ~total_ns:total
+        ~retries:0 ~bytes_logged:0 ~writes:0 ~phases)
+    totals;
+  Alcotest.(check int) "count sees everything" (List.length totals)
+    (Obs.Txprof.count tp);
+  Alcotest.(check int) "capture is bounded" 4 (Obs.Txprof.captured tp);
+  let got = List.map (fun e -> e.Obs.Txprof.total_ns) (Obs.Txprof.top tp) in
+  Alcotest.(check (list int)) "four largest, slowest first"
+    [ 102; 100; 99; 98 ] got
 
 (* ------------------------------------------------------------------ *)
 (* Integration: redo logging commits with exactly one fence *)
@@ -282,6 +397,106 @@ let test_one_fence_per_commit () =
       let s = Mtm.Txn.stats pool in
       Alcotest.(check int) "committed" 1 s.Mtm.Txn.commits)
 
+(* Shared pool setup for the profiling tests: one simulated machine,
+   one instance, a mapped data page, [nthreads] transaction threads. *)
+let with_pool ?(nthreads = 1) dir f =
+  let m = Scm.Env.make_machine ~seed:7 ~nframes:4096 () in
+  let backing = Region.Backing_store.open_dir dir in
+  let pmem = Region.Pmem.open_instance m backing in
+  let config =
+    {
+      Mtm.Txn.default_config with
+      nthreads;
+      log_cap_words = 4096;
+      truncation = Mtm.Txn.Async;
+    }
+  in
+  let pool = Mtm.Txn.create_pool ~config pmem None in
+  let v = Region.Pmem.default_view pmem in
+  let base = Region.Pmem.pmap v 4096 in
+  ignore (Region.Pmem.load v base);
+  f pool v base
+
+(* The mark-chain invariant: the instrumented commit path advances one
+   thread-local mark through the phase boundaries, attributing every
+   interval to exactly one phase — so each ledger entry's phase sum
+   must equal its total duration exactly, not just account for 95% of
+   it. *)
+let test_phase_sum_invariant () =
+  with_tmpdir (fun dir ->
+      with_pool dir (fun pool v base ->
+          let tp =
+            Obs.Txprof.create (Mtm.Txn.obs pool).Obs.metrics
+          in
+          Mtm.Txn.set_txprof pool (Some tp);
+          let th = Mtm.Txn.thread pool 0 v.env in
+          let n = 20 in
+          for i = 1 to n do
+            Mtm.Txn.run th (fun tx ->
+                (* vary the write-set size so totals differ *)
+                for w = 0 to i mod 5 do
+                  Mtm.Txn.store tx (base + (8 * w)) (Int64.of_int i)
+                done)
+          done;
+          Alcotest.(check int) "every commit recorded" n (Obs.Txprof.count tp);
+          Alcotest.(check int) "tail captured" (min n (Obs.Txprof.k tp))
+            (Obs.Txprof.captured tp);
+          List.iter
+            (fun e ->
+              if e.Obs.Txprof.total_ns <= 0 then
+                Alcotest.failf "txid %d: empty duration" e.Obs.Txprof.txid;
+              if Obs.Txprof.phase_sum e <> e.Obs.Txprof.total_ns then
+                Alcotest.failf
+                  "txid %d: phase sum %d <> total %d (unattributed time)"
+                  e.Obs.Txprof.txid (Obs.Txprof.phase_sum e)
+                  e.Obs.Txprof.total_ns;
+              if e.Obs.Txprof.txid <= 0 || e.Obs.Txprof.txid > n then
+                Alcotest.failf "txid %d out of range" e.Obs.Txprof.txid)
+            (Obs.Txprof.top tp);
+          (* the phase histograms fed one sample per commit *)
+          Alcotest.(check int) "total histogram count" n
+            (Obs.Metrics.hcount (Obs.Txprof.total_histogram tp));
+          (* the always-on flight ring saw the run without tracing *)
+          let dump = Obs.flight_dump (Mtm.Txn.obs pool) in
+          let contains needle =
+            let nl = String.length needle and hl = String.length dump in
+            let rec go i =
+              i + nl <= hl && (String.sub dump i nl = needle || go (i + 1))
+            in
+            if not (go 0) then
+              Alcotest.failf "flight dump missing %S in:\n%s" needle dump
+          in
+          contains "Txn_commit";
+          contains "Flow_start"))
+
+(* The disabled path must stay allocation-free: with no trace and no
+   ledger installed every hook is one branch, and a commit's footprint
+   stays within the perf baseline's minor-words budget. *)
+let test_disabled_path_allocation () =
+  with_tmpdir (fun dir ->
+      with_pool dir (fun pool v base ->
+          Alcotest.(check bool) "profiling off" true
+            (Mtm.Txn.txprof pool = None);
+          let th = Mtm.Txn.thread pool 0 v.env in
+          let commit i =
+            Mtm.Txn.run th (fun tx ->
+                Mtm.Txn.store tx base (Int64.of_int i);
+                Mtm.Txn.store tx (base + 8) (Int64.of_int (i * 3)))
+          in
+          (* warm up: first commits pay one-time cache/log growth *)
+          for i = 1 to 100 do
+            commit i
+          done;
+          let n = 500 in
+          let before = Gc.minor_words () in
+          for i = 1 to n do
+            commit i
+          done;
+          let per_commit = (Gc.minor_words () -. before) /. float_of_int n in
+          if per_commit > 512.0 then
+            Alcotest.failf "disabled path allocates %.1f minor words/commit"
+              per_commit))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -294,16 +509,29 @@ let () =
           Alcotest.test_case "small values exact" `Quick
             test_histogram_small_exact;
           Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "snapshot and json export" `Quick
+            test_snapshot_json;
         ] );
       ( "trace",
         [
           Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
           Alcotest.test_case "chrome json round-trip" `Quick
             test_chrome_roundtrip;
+          Alcotest.test_case "flow events carry txid" `Quick
+            test_flow_roundtrip;
+        ] );
+      ( "txprof",
+        [
+          Alcotest.test_case "top-k adversarial order" `Quick
+            test_topk_adversarial;
+          Alcotest.test_case "phase sum equals duration" `Quick
+            test_phase_sum_invariant;
         ] );
       ( "integration",
         [
           Alcotest.test_case "one fence per redo commit" `Quick
             test_one_fence_per_commit;
+          Alcotest.test_case "disabled path stays allocation-free" `Quick
+            test_disabled_path_allocation;
         ] );
     ]
