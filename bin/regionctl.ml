@@ -175,35 +175,40 @@ let run_fsck dir json =
     if Check.Pmfsck.ok report then 0 else 2
   end
 
-let dir =
+(* Every subcommand builds its arguments fresh: a single Arg value
+   shared between subcommands means one flag serving every parse, so
+   state set while dispatching one subcommand can leak into the next
+   (and documentation edits to "the" flag silently apply everywhere).
+   Factories keep each Cmd.v self-contained. *)
+let dir () =
   Arg.(
     required
     & pos 0 (some string) None
     & info [] ~docv:"DIR" ~doc:"Instance directory.")
 
-let level =
+let json ~what () =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:(Printf.sprintf "Print the %s as JSON instead of text." what))
+
+let level () =
   Arg.(
     value & flag
     & info [ "level" ]
         ~doc:"Run a wear-leveling pass over hot frames before closing.")
 
-let inspect_term = Term.(const run $ dir $ level)
+let inspect_term = Term.(const run $ dir () $ level ())
 
 let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect" ~doc:"Full inspection (the default command)")
     inspect_term
 
-(* One --json flag, shared by every reporting subcommand. *)
-let json =
-  Arg.(
-    value & flag
-    & info [ "json" ] ~doc:"Print the report as JSON instead of text.")
-
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Region, heap and log occupancy summary")
-    Term.(const run_stats $ dir $ json)
+    Term.(const run_stats $ dir () $ json ~what:"occupancy summary" ())
 
 let fsck_cmd =
   Cmd.v
@@ -211,7 +216,7 @@ let fsck_cmd =
        ~doc:
          "Offline consistency analysis of the instance's persistent image \
           (read-only; exits non-zero on findings)")
-    Term.(const run_fsck $ dir $ json)
+    Term.(const run_fsck $ dir () $ json ~what:"consistency report" ())
 
 let cmd =
   Cmd.group ~default:inspect_term

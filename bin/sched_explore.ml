@@ -25,6 +25,7 @@
    Usage:
      sched_explore [--seeds N] [--seed0 K] [--policy P] [--threads T]
                    [--txns N] [--slots S] [--undo] [--trace]
+                   [--lease N] [--stripes N] [--group-commit]
                    [--record FILE | --replay FILE] [--dir D] [-v]
 *)
 
@@ -161,8 +162,8 @@ let run_sweep ~cfg0 ~policies ~seeds ~seed0 ~verbose =
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 
-let run seeds seed0 policy threads txns slots undo zero_lat trace pmcheck
-    record replay dir verbose =
+let run seeds seed0 policy threads txns slots undo zero_lat lease stripes
+    group_commit trace pmcheck record replay dir verbose =
   let cfg0 =
     {
       (H.default_cfg ~dir) with
@@ -171,6 +172,9 @@ let run seeds seed0 policy threads txns slots undo zero_lat trace pmcheck
       nslots = slots;
       undo;
       zero_lat;
+      lease;
+      stripes;
+      group_commit;
       trace;
       pmcheck;
       seed = seed0;
@@ -234,6 +238,30 @@ let zero_lat =
            on single simulated ticks: maximally adversarial same-time \
            ties.")
 
+let lease =
+  Arg.(
+    value & opt int 1
+    & info [ "lease" ]
+        ~doc:
+          "Commit timestamps leased per shared-counter refill \
+           (Txn.config.ts_lease; 1 = the legacy draw-per-commit \
+           protocol).  Small values make lease-boundary interleavings \
+           common.")
+
+let stripes =
+  Arg.(
+    value & opt int 1
+    & info [ "stripes" ]
+        ~doc:"Lock-table stripes, a power of two (Txn.config.lock_stripes).")
+
+let group_commit =
+  Arg.(
+    value & flag
+    & info [ "group-commit" ]
+        ~doc:
+          "Share one durability fence among transactions retiring in the \
+           same drain window (Txn.config.group_commit).")
+
 let trace =
   Arg.(
     value & flag
@@ -279,6 +307,7 @@ let cmd =
           run for conflict serializability")
     Term.(
       const run $ seeds $ seed0 $ policy $ threads $ txns $ slots $ undo
-      $ zero_lat $ trace $ pmcheck $ record $ replay $ dir $ verbose)
+      $ zero_lat $ lease $ stripes $ group_commit $ trace $ pmcheck $ record
+      $ replay $ dir $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,9 @@ type cfg = {
   policy : Sim.Schedule.policy;
   undo : bool;  (* Eager_undo instead of Lazy_redo *)
   zero_lat : bool;  (* zero software-overhead latency model *)
+  lease : int;  (* Txn.config.ts_lease (1 = legacy shared counter) *)
+  stripes : int;  (* Txn.config.lock_stripes *)
+  group_commit : bool;  (* share the durability fence across commits *)
   trace : bool;
   pmcheck : bool;  (* run under the durability sanitizer *)
   dir : string;
@@ -22,6 +25,9 @@ let default_cfg ~dir =
     policy = Sim.Schedule.Seeded_shuffle;
     undo = false;
     zero_lat = false;
+    lease = 1;
+    stripes = 1;
+    group_commit = false;
     trace = false;
     pmcheck = false;
     dir;
@@ -74,6 +80,9 @@ let mtm_config cfg =
     nthreads = cfg.threads;
     log_cap_words = 8192;
     version_mgmt = (if cfg.undo then Mtm.Txn.Eager_undo else Mtm.Txn.Lazy_redo);
+    ts_lease = cfg.lease;
+    lock_stripes = cfg.stripes;
+    group_commit = cfg.group_commit;
   }
 
 let reset_or_die dir =
@@ -215,6 +224,9 @@ let save_schedule outcome cfg path =
   Sim.Schedule.set_meta s "nslots" (string_of_int cfg.nslots);
   Sim.Schedule.set_meta s "undo" (if cfg.undo then "1" else "0");
   Sim.Schedule.set_meta s "zero_lat" (if cfg.zero_lat then "1" else "0");
+  Sim.Schedule.set_meta s "lease" (string_of_int cfg.lease);
+  Sim.Schedule.set_meta s "stripes" (string_of_int cfg.stripes);
+  Sim.Schedule.set_meta s "group_commit" (if cfg.group_commit then "1" else "0");
   Sim.Schedule.set_meta s "pmcheck" (if cfg.pmcheck then "1" else "0");
   Sim.Schedule.save s path
 
@@ -234,5 +246,8 @@ let cfg_of_schedule ~dir sched =
     nslots = geti "nslots" d.nslots;
     undo = Sim.Schedule.meta sched "undo" = Some "1";
     zero_lat = Sim.Schedule.meta sched "zero_lat" = Some "1";
+    lease = geti "lease" d.lease;
+    stripes = geti "stripes" d.stripes;
+    group_commit = Sim.Schedule.meta sched "group_commit" = Some "1";
     pmcheck = Sim.Schedule.meta sched "pmcheck" = Some "1";
   }

@@ -21,6 +21,13 @@ type cfg = {
           onto single simulated ticks: every yield becomes a same-time
           tie the policy gets to order.  The adversarial mode — races
           whose windows the default costs keep closed open up here. *)
+  lease : int;
+      (** {!Mtm.Txn.config.ts_lease}: commit timestamps leased per
+          shared-counter refill (1 = the legacy protocol).  Fuzzing
+          with a small lease makes lease-boundary interleavings —
+          refills racing other commits — common. *)
+  stripes : int;  (** {!Mtm.Txn.config.lock_stripes}. *)
+  group_commit : bool;  (** {!Mtm.Txn.config.group_commit}. *)
   trace : bool;  (** Record an observability trace during the run. *)
   pmcheck : bool;
       (** Install the {!Scm.Pmcheck} durability sanitizer before the

@@ -269,6 +269,12 @@ let append_bytes t payload ~len =
 
 let flush t = Pmem.fence t.v
 
+(* Group commit's durability point: one fence drains every listed log's
+   pending appends at once.  The logs are per-thread but may share a
+   machine; the head of the list belongs to the running (leader)
+   thread, which pays the combined cost. *)
+let flush_group ts = Pmem.fence_many (List.map (fun t -> t.v) ts)
+
 let set_head t ~off ~parity ~tpos =
   Pmem.wtstore t.v (head_addr t) (pack_head ~off ~parity ~tpos);
   Pmem.fence t.v;
@@ -308,12 +314,13 @@ let truncate_all t =
   else set_head t ~off:t.tail_off ~parity:t.tail_parity ~tpos:t.tail_tpos;
   note_truncate t ~words
 
-let advance_head t ~words =
+let advance_head ?(records = 1) t ~words =
   if words < 0 || words > used_words t then
     invalid_arg "Rawl.advance_head: beyond tail";
   (match pmchk t.v with
   | None -> ()
-  | Some chk -> Scm.Pmcheck.note_truncate chk ~log:t.base ~all:false);
+  | Some chk ->
+      Scm.Pmcheck.note_truncate chk ~count:records ~log:t.base ~all:false);
   let raw = t.head_off + words in
   (if raw >= t.cap then begin
      let parity, tpos = next_pass t ~parity:t.head_parity ~tpos:t.head_tpos in

@@ -86,6 +86,12 @@ val append_bytes : t -> Bytes.t -> len:int -> append_result
 val flush : t -> unit
 (** [log_flush]: one fence; all prior appends are durable after this. *)
 
+val flush_group : t list -> unit
+(** Group commit: one fence making every listed log's prior appends
+    durable at once, with the head of the list (the leader's log)
+    paying a single combined cost — see {!Region.Pmem.fence_many}.
+    Callers of the other logs must be parked while this runs. *)
+
 val set_owner : t -> int -> unit
 (** Stamp the transaction id the next appends belong to (0 = none).
     Each append then opens a causal flow under that id, so deferred
@@ -96,9 +102,12 @@ val set_owner : t -> int -> unit
 val truncate_all : t -> unit
 (** Drop every record: head := tail, one atomic word write + fence. *)
 
-val advance_head : t -> words:int -> unit
+val advance_head : ?records:int -> t -> words:int -> unit
 (** Consume [words] stored words from the head (the sum of spans of the
-    records being retired).  Atomic, like {!truncate_all}. *)
+    records being retired).  Atomic, like {!truncate_all}.  [records]
+    (default 1) is how many log records those words span — the
+    durability sanitizer retires its per-record sessions in lockstep
+    with the head. *)
 
 val used_words : t -> int
 val free_words : t -> int

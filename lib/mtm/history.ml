@@ -28,10 +28,16 @@ let aborts t =
   List.length
     (List.filter (function Abort _ -> true | Commit _ -> false) t.rev_events)
 
-(* The serial oracle.  Writers carry unique commit timestamps (the
-   global {!Timestamp} hands them out one at a time), and recovery
+(* The serial oracle.  Writers carry unique commit timestamps (drawn
+   from the global {!Timestamp} one at a time, or from disjoint
+   per-thread leases — uniqueness holds either way), and recovery
    replays redo records in cts order — so cts order *is* the system's
-   serialization contract.  Read-only transactions never take a
+   serialization contract.  Leased timestamps can leave the counter in
+   non-arrival order, which is exactly why this check matters there:
+   the lock-table reader watermarks must force every writer above the
+   readers it would otherwise invalidate, and any failure of that
+   protocol shows up here as a read that the cts-order replay cannot
+   reproduce.  Read-only transactions never take a
    timestamp; their reads were validated against [rv], so they order
    directly after the writer whose cts equals their recorded [rv].
    Replaying the history in that order against a model memory must

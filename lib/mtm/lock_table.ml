@@ -1,30 +1,115 @@
-type t = { versions : int array; owners : int array; mask : int }
+(* The volatile lock array, optionally striped.
 
-let create ?(bits = 18) () =
+   A stripe owns its own version/owner arrays: in a real runtime each
+   stripe lives on its own cache lines, so threads working disjoint
+   address ranges stop false-sharing lock metadata.  Adjacent 64-byte
+   lines map to *different* stripes (the stripe index comes from the
+   low line bits), and each stripe strides over the address space with
+   its own entry array — so striping also multiplies the total entry
+   count, pushing the aliasing wrap out by the stripe factor.
+
+   With [stripes = 1] (the default) the handle returned by
+   {!index_of} is exactly the historical [(addr lsr 6) land mask]:
+   every schedule, sim figure and regression trace recorded against
+   the flat table replays unchanged.
+
+   Each entry also carries:
+   - [addrs]: the address the current owner acquired it for — a
+     conflicting acquirer with a *different* address never touched
+     common data; the table aliased them together (a false conflict,
+     which {!aliased} exposes so the STM can count them);
+   - [rts]: the largest commit timestamp any validated reader has
+     ordered itself at.  With leased (out-of-arrival-order) commit
+     timestamps a writer must publish a version above every reader
+     that already serialized against the old version; [rts] is where
+     readers leave that watermark (TicToc-style). *)
+
+type stripe = {
+  versions : int array;
+  owners : int array;
+  addrs : int array; (* owner's acquiring address; 0 = unknown *)
+  rts : int array; (* max cts/rv a validated reader serialized at *)
+}
+
+type t = {
+  stripes : stripe array;
+  sbits : int; (* log2 (Array.length stripes) *)
+  smask : int;
+  mask : int; (* per-stripe entry count - 1 *)
+}
+
+let make_stripe n =
+  {
+    versions = Array.make n 0;
+    owners = Array.make n (-1);
+    addrs = Array.make n 0;
+    rts = Array.make n 0;
+  }
+
+let create ?(bits = 18) ?(stripes = 1) () =
+  if stripes < 1 || stripes land (stripes - 1) <> 0 then
+    invalid_arg "Lock_table.create: stripes must be a power of two";
   let n = 1 lsl bits in
-  { versions = Array.make n 0; owners = Array.make n (-1); mask = n - 1 }
+  let sbits =
+    let rec log2 acc = function 1 -> acc | k -> log2 (acc + 1) (k lsr 1) in
+    log2 0 stripes
+  in
+  {
+    stripes = Array.init stripes (fun _ -> make_stripe n);
+    sbits;
+    smask = stripes - 1;
+    mask = n - 1;
+  }
 
 (* Each lock covers one 64-byte line of the address space (the paper:
    "each lock covering a portion of the address space").  Range
    striding, not hashing: contiguous writes take contiguous locks, so a
    large write set occupies few entries and disjoint structures rarely
-   false-conflict. *)
-let index_of t addr = (addr lsr 6) land t.mask
+   false-conflict.  The handle packs (entry, stripe); with one stripe
+   it degenerates to the flat index. *)
+let[@inline] index_of t addr =
+  let line = addr lsr 6 in
+  let s = line land t.smask in
+  let slot = (line lsr t.sbits) land t.mask in
+  (slot lsl t.sbits) lor s
 
-let version t idx = t.versions.(idx)
-let owner t idx = t.owners.(idx)
+let[@inline] stripe_of t h = t.stripes.(h land t.smask)
+let[@inline] slot_of t h = h lsr t.sbits
+let version t h = (stripe_of t h).versions.(slot_of t h)
+let owner t h = (stripe_of t h).owners.(slot_of t h)
+let rts t h = (stripe_of t h).rts.(slot_of t h)
+let held_addr t h = (stripe_of t h).addrs.(slot_of t h)
 
-let try_acquire t idx ~owner =
-  if t.owners.(idx) = -1 then begin
-    t.owners.(idx) <- owner;
+(* Only meaningful while the entry is held: conflicts are attributed at
+   the moment they are observed, against the current owner. *)
+let aliased t h ~addr =
+  let held = held_addr t h in
+  held <> 0 && held <> addr
+
+let try_acquire t h ~owner ~addr =
+  let st = stripe_of t h in
+  let slot = slot_of t h in
+  if st.owners.(slot) = -1 then begin
+    st.owners.(slot) <- owner;
+    st.addrs.(slot) <- addr;
     true
   end
-  else t.owners.(idx) = owner
+  else st.owners.(slot) = owner
 
-let release t idx = t.owners.(idx) <- -1
+let release t h = (stripe_of t h).owners.(slot_of t h) <- -1
 
-let release_versioned t idx ~version =
-  t.versions.(idx) <- version;
-  t.owners.(idx) <- -1
+let release_versioned t h ~version =
+  let st = stripe_of t h in
+  let slot = slot_of t h in
+  st.versions.(slot) <- version;
+  st.owners.(slot) <- -1
 
-let entries t = t.mask + 1
+(* Reader watermark: monotone, bumped inside the same atomic
+   (yield-free) step as the validation that justifies it. *)
+let bump_rts t h v =
+  let st = stripe_of t h in
+  let slot = slot_of t h in
+  if st.rts.(slot) < v then st.rts.(slot) <- v
+
+let stripes t = t.smask + 1
+let entries t = (t.mask + 1) * (t.smask + 1)

@@ -10,6 +10,15 @@ type config = {
   version_mgmt : version_mgmt;
   lock_bits : int;
   max_attempts : int;
+  (* Scalable-commit knobs.  The defaults (lease 1, one stripe, no
+     group commit) reproduce the original shared-point protocol
+     bit-identically: sim figures, crash-point indices and recorded
+     schedules are all pinned against them. *)
+  ts_lease : int;  (* cts values leased per shared-counter refill *)
+  lock_stripes : int;  (* lock-table stripes (power of two) *)
+  group_commit : bool;  (* share one log-flush fence per drain window *)
+  gc_window_ns : int;  (* leader lingers this long gathering companions *)
+  gc_trunc_batch : int;  (* sync truncations retired per batch *)
 }
 
 let default_config =
@@ -20,6 +29,11 @@ let default_config =
     version_mgmt = Lazy_redo;
     lock_bits = 18;
     max_attempts = 64;
+    ts_lease = 1;
+    lock_stripes = 1;
+    group_commit = false;
+    gc_window_ns = 0;
+    gc_trunc_batch = 8;
   }
 
 exception Contention
@@ -49,6 +63,10 @@ type pool = {
   h_fence : Obs.Metrics.histogram;
   h_write_back : Obs.Metrics.histogram;
   h_stm : Obs.Metrics.histogram;
+  h_gc_group : Obs.Metrics.histogram;  (* group-commit members per fence *)
+  fc_aliased : Obs.Metrics.counter;
+      (* aborts where the conflicting owner held the lock for a
+         different address: lock-table aliasing, not a data conflict *)
   mutable recovered : int;
   mutable commits : int;
   mutable aborts : int;
@@ -66,15 +84,21 @@ type pool = {
   mutable next_txid : int;
       (* pool-wide transaction id source; ids stamp causal flows and
          profile entries, 0 meaning "no transaction" *)
+  (* Group-commit rendezvous: members whose records await the shared
+     fence, and whether a leader is currently draining a window. *)
+  mutable gc_waiters : thread list;
+  mutable gc_leading : bool;
 }
 
-type thread = {
+and thread = {
   id : int;
   pool : pool;
   view : Pmem.view;
   log : Pmlog.Rawl.t;
   pending_q : pending Queue.t;
   rng : Random.State.t;
+  lease : Timestamp.lease;  (* thread-private block of cts values *)
+  mutable gc_done : bool;  (* this thread's record fenced by a leader *)
   mutable current : txn option;
   (* Reusable per-thread transaction state: one transaction runs at a
      time per thread (flat nesting), so every attempt recycles these
@@ -191,6 +215,11 @@ let create_pool ?(config = default_config) pmem heap =
     invalid_arg
       "Txn.create_pool: undo logging commits by truncation and cannot be \
        asynchronous";
+  if config.version_mgmt = Eager_undo && config.group_commit then
+    invalid_arg
+      "Txn.create_pool: group commit amortizes the redo-log flush and \
+       requires redo logging";
+  if config.ts_lease < 1 then invalid_arg "Txn.create_pool: ts_lease < 1";
   let v = Pmem.default_view pmem in
   let obs = v.Pmem.env.Scm.Env.machine.Scm.Env.obs in
   let m = obs.Obs.metrics in
@@ -198,7 +227,9 @@ let create_pool ?(config = default_config) pmem heap =
     {
       pmem;
       heap;
-      locks = Lock_table.create ~bits:config.lock_bits ();
+      locks =
+        Lock_table.create ~bits:config.lock_bits ~stripes:config.lock_stripes
+          ();
       ts = Timestamp.create ();
       cfg = config;
       log_bases = Array.make config.nthreads 0;
@@ -209,6 +240,8 @@ let create_pool ?(config = default_config) pmem heap =
       h_fence = Obs.Metrics.histogram m "mtm.commit.fence_ns";
       h_write_back = Obs.Metrics.histogram m "mtm.commit.write_back_ns";
       h_stm = Obs.Metrics.histogram m "mtm.commit.stm_ns";
+      h_gc_group = Obs.Metrics.histogram m "mtm.gc.group_size";
+      fc_aliased = Obs.Metrics.counter m "mtm.lock.false_conflicts";
       recovered = 0;
       commits = 0;
       aborts = 0;
@@ -220,6 +253,8 @@ let create_pool ?(config = default_config) pmem heap =
       backoff_draw = None;
       txprof = None;
       next_txid = 0;
+      gc_waiters = [];
+      gc_leading = false;
     }
   in
   (* Recovery: gather complete records from every thread log, replay in
@@ -256,9 +291,11 @@ let create_pool ?(config = default_config) pmem heap =
         let max_ts =
           List.fold_left (fun acc r -> max acc r.Redo_log.ts) 0 records
         in
-        for _ = 1 to max_ts do
-          ignore (Timestamp.next pool.ts v.Pmem.env)
-        done
+        (* Same simulated cost as the historical bump-per-value loop
+           (recovery is single-threaded, so each bump cost exactly one
+           [timestamp_ns]), without O(max_ts) counter transactions. *)
+        v.Pmem.env.delay (v.Pmem.env.machine.latency.timestamp_ns * max_ts);
+        Timestamp.advance_to pool.ts max_ts
       end
   | Eager_undo ->
       (* Undo: each log holds the [addr, old] records of at most one
@@ -291,7 +328,34 @@ let create_pool ?(config = default_config) pmem heap =
 let thread pool i env =
   if i < 0 || i >= pool.cfg.nthreads then invalid_arg "Txn.thread: slot";
   let view = Pmem.view pool.pmem env in
-  let log, _ = Pmlog.Rawl.attach view ~base:pool.log_bases.(i) in
+  let log, records = Pmlog.Rawl.attach view ~base:pool.log_bases.(i) in
+  (* A previous handle on this slot (e.g. the instance's main thread)
+     may have gone away with truncations still deferred: its committed
+     records survive in the shared log and the lines they cover may
+     still be cache-dirty.  Retire them now — flush every covered line,
+     fence, truncate — so this handle's own head advances stay aligned
+     with the records it appends itself.  Configurations that truncate
+     at commit leave the log empty, making this free. *)
+  (match pool.cfg.version_mgmt with
+  | Lazy_redo when records <> [] ->
+      let last = ref (-1) in
+      List.iter
+        (fun r ->
+          match Redo_log.decode r with
+          | None -> ()
+          | Some { Redo_log.writes; _ } ->
+              List.iter
+                (fun (addr, _) ->
+                  let line = addr land lnot 63 in
+                  if line <> !last then begin
+                    Pmem.flush view line;
+                    last := line
+                  end)
+                writes)
+        records;
+      Pmem.fence view;
+      Pmlog.Rawl.truncate_all log
+  | _ -> ());
   Timestamp.register_thread pool.ts;
   {
     id = i;
@@ -300,6 +364,8 @@ let thread pool i env =
     log;
     pending_q = Queue.create ();
     rng = Random.State.make [| 0x7a11; i |];
+    lease = Timestamp.lease_create ();
+    gc_done = false;
     current = None;
     t_wset = Wset.create ();
     t_old_vals = Wset.create ();
@@ -405,8 +471,19 @@ let validate tx =
   !ok
 
 let extend tx =
+  (* Raising [rv] after revalidation only widens what this transaction
+     may read; its serialization point is fixed at commit (and reserved
+     on the read locks there), so no watermarks move here. *)
   if validate tx then tx.rv <- Timestamp.now tx.th.pool.ts
   else raise Abort_internal
+
+(* A conflicting owner that acquired the lock for a different address
+   never touched our data: the table aliased two addresses onto one
+   entry (same 64-byte line, or a table-size wrap).  Counted so the
+   striped table's effect is observable. *)
+let[@inline] note_false_conflict tx locks idx ~addr =
+  if Lock_table.aliased locks idx ~addr then
+    Obs.Metrics.incr tx.th.pool.fc_aliased
 
 let load tx addr =
   delay tx (latency tx).stm_access_ns;
@@ -430,7 +507,10 @@ let load tx addr =
           then record_read tx.th addr value);
       value
     end
-    else if o <> -1 then raise Abort_internal
+    else if o <> -1 then begin
+      note_false_conflict tx locks idx ~addr;
+      raise Abort_internal
+    end
     else begin
       let v1 = Lock_table.version locks idx in
       let value = Pmem.load tx.th.view addr in
@@ -438,7 +518,11 @@ let load tx addr =
          commit before trusting the value. *)
       if Lock_table.owner locks idx <> -1
          || Lock_table.version locks idx <> v1
-      then raise Abort_internal;
+      then begin
+        if Lock_table.owner locks idx <> -1 then
+          note_false_conflict tx locks idx ~addr;
+        raise Abort_internal
+      end;
       if v1 > tx.rv then begin
         extend tx;
         (* [extend] validated the read set, but this slot is not in it
@@ -450,6 +534,12 @@ let load tx addr =
         then raise Abort_internal
       end;
       push_read tx.th idx v1;
+      (* No watermark here: the commit that justifies this read — the
+         only point whose position later writers must exceed — leaves
+         its reservation on the lock inside the same yield-free step as
+         its validation.  Stamping [rv] per load instead would leak the
+         global-counter snapshot into every later writer's cts floor
+         and defeat the timestamp lease. *)
       (match tx.th.pool.history with
       | None -> ()
       | Some _ -> record_read tx.th addr value);
@@ -484,10 +574,13 @@ let store tx addr v =
   let idx = Lock_table.index_of locks addr in
   let o = Lock_table.owner locks idx in
   if o = tx.th.id then ()
-  else if o <> -1 then raise Abort_internal
+  else if o <> -1 then begin
+    note_false_conflict tx locks idx ~addr;
+    raise Abort_internal
+  end
   else begin
     if Lock_table.version locks idx > tx.rv then extend tx;
-    if not (Lock_table.try_acquire locks idx ~owner:tx.th.id) then
+    if not (Lock_table.try_acquire locks idx ~owner:tx.th.id ~addr) then
       raise Abort_internal;
     push_wlock tx.th idx
   end;
@@ -657,14 +750,93 @@ let process_truncations th dview =
   done;
   !count
 
+(* Retire every queued truncation as one batch: flush the union of the
+   batch's dirty lines (hot lines flushed once, not once per commit),
+   then advance the head over all the spans with a single fence.  The
+   queued records all sit in the log simultaneously, so the summed span
+   is at most the capacity and the advance wraps at most once. *)
+let drain_truncations_batched th =
+  if not (Queue.is_empty th.pending_q) then begin
+    let total_words = ref 0 and total_addrs = ref 0 in
+    Queue.iter
+      (fun p ->
+        total_words := !total_words + p.span;
+        total_addrs := !total_addrs + Array.length p.addrs)
+      th.pending_q;
+    let nrecords = Queue.length th.pending_q in
+    let all = Array.make (max 1 !total_addrs) 0 in
+    let off = ref 0 in
+    while not (Queue.is_empty th.pending_q) do
+      let { span = _; addrs; txid } = Queue.pop th.pending_q in
+      charge_log_read th.view ~nwrites:(Array.length addrs);
+      Array.blit addrs 0 all !off (Array.length addrs);
+      off := !off + Array.length addrs;
+      if txid <> 0 then Obs.flow th.pool.obs ~phase:`End ~id:txid
+    done;
+    Wset.sort_prefix all ~len:!total_addrs;
+    flush_sorted_lines th.view all !total_addrs;
+    Pmlog.Rawl.advance_head th.log ~records:nrecords ~words:!total_words
+  end
+
 let drain_truncations_blocking th =
-  while not (Queue.is_empty th.pending_q) do
-    let { span; addrs; txid } = Queue.pop th.pending_q in
-    charge_log_read th.view ~nwrites:(Array.length addrs);
-    flush_sorted_lines th.view addrs (Array.length addrs);
-    Pmlog.Rawl.advance_head th.log ~words:span;
-    if txid <> 0 then Obs.flow th.pool.obs ~phase:`End ~id:txid
-  done
+  if th.pool.cfg.group_commit then drain_truncations_batched th
+  else
+    while not (Queue.is_empty th.pending_q) do
+      let { span; addrs; txid } = Queue.pop th.pending_q in
+      charge_log_read th.view ~nwrites:(Array.length addrs);
+      flush_sorted_lines th.view addrs (Array.length addrs);
+      Pmlog.Rawl.advance_head th.log ~words:span;
+      if txid <> 0 then Obs.flow th.pool.obs ~phase:`End ~id:txid
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Group commit                                                        *)
+
+(* Transactions reaching the durability point in the same drain window
+   share one fence.  A retiring member registers itself and either
+   leads — performing one combined {!Pmlog.Rawl.flush_group} over every
+   member registered by flush time — or parks, polling until a leader
+   marks its record durable.  Registration, leader election and the
+   waiter takeover are yield-free sections, so exactly one leader
+   drains each window; a waiter that wakes to find no active leader
+   and its record still pending leads the next window itself (its
+   registration is still queued), so nobody is orphaned. *)
+
+let gc_poll_ns = 40
+
+let gc_lead th pool (env : Scm.Env.t) =
+  pool.gc_leading <- true;
+  (* linger to gather companions, unless running alone (the window
+     would be pure added latency) *)
+  if pool.cfg.gc_window_ns > 0 && Timestamp.active_threads pool.ts > 1 then
+    env.delay pool.cfg.gc_window_ns;
+  let members = pool.gc_waiters in
+  pool.gc_waiters <- [];
+  (* the leader's log first: the running thread pays the shared cost *)
+  let members = th :: List.filter (fun m -> m != th) members in
+  Pmlog.Rawl.flush_group (List.map (fun m -> m.log) members);
+  List.iter (fun m -> m.gc_done <- true) members;
+  pool.gc_leading <- false;
+  Obs.Metrics.record pool.h_gc_group (List.length members)
+
+let rec gc_wait th pool (env : Scm.Env.t) =
+  if not th.gc_done then
+    if not pool.gc_leading then gc_lead th pool env
+    else begin
+      env.delay gc_poll_ns;
+      gc_wait th pool env
+    end
+
+let gc_retire th =
+  let pool = th.pool in
+  let env = th.view.Pmem.env in
+  th.gc_done <- false;
+  pool.gc_waiters <- th :: pool.gc_waiters;
+  if pool.gc_leading then begin
+    env.delay gc_poll_ns;
+    gc_wait th pool env
+  end
+  else gc_lead th pool env
 
 (* ------------------------------------------------------------------ *)
 (* Commit / abort                                                      *)
@@ -758,6 +930,65 @@ let finalize_heap_effects tx =
       List.iter (fun addr -> Pmheap.Heap.pfree_raw heap addr) tx.large_frees
   | None -> ()
 
+(* The smallest value this commit's timestamp must exceed when
+   timestamps are leased: the version of every value read (this commit
+   serializes after those writers), plus — for every lock about to
+   publish a new version — the version being replaced and the watermark
+   of every reader that validated against it.  The write locks are
+   held, so both are frozen (a conflicting validator fails on the owner
+   check before it could bump).  Deliberately NOT the begin-time
+   snapshot [tx.rv]: rv tracks the global counter, which every refill
+   inflates by a whole lease, so a floor of rv would invalidate the
+   thread's lease on nearly every commit and re-serialize all threads
+   on the shared counter.  Only what was actually read and what is
+   actually held constrains the serialization order. *)
+let cts_floor tx =
+  let th = tx.th in
+  let locks = th.pool.locks in
+  let f = ref 0 in
+  for i = 0 to th.nrset - 1 do
+    let v = th.rset_ver.(i) in
+    if v > !f then f := v
+  done;
+  for i = 0 to th.nwlocks - 1 do
+    let idx = th.wlocks.(i) in
+    let v = Lock_table.version locks idx in
+    if v > !f then f := v;
+    let r = Lock_table.rts locks idx in
+    if r > !f then f := r
+  done;
+  !f
+
+(* Draw the commit timestamp, then re-validate under it.  The draw can
+   yield (always, for the shared bump; on lease refill otherwise): a
+   transaction that validated in {!commit} can have its read set
+   overwritten by a commit slipping into that window, yet still
+   serialize *after* it at [cts] — re-validate under the fresh
+   timestamp so cts order matches what was read (race found by
+   bin/sched_explore; regression traces in test/schedules/).  With
+   leased timestamps, additionally bump each read lock's watermark to
+   [cts] in the same yield-free step as that validation: any later
+   writer of those addresses must draw a larger cts, which is the
+   anti-dependency ordering that keeps recovery's cts-sorted replay
+   equal to the serialization order. *)
+let draw_cts_validated tx =
+  let th = tx.th in
+  let pool = th.pool in
+  let env = th.view.Pmem.env in
+  let cts =
+    if pool.cfg.ts_lease <= 1 then Timestamp.next pool.ts env
+    else
+      Timestamp.draw pool.ts env th.lease ~size:pool.cfg.ts_lease
+        ~floor:(cts_floor tx)
+  in
+  if not (validate tx) then raise Abort_internal;
+  (if pool.cfg.ts_lease > 1 then
+     let locks = pool.locks in
+     for i = 0 to th.nrset - 1 do
+       Lock_table.bump_rts locks th.rset_idx.(i) cts
+     done);
+  cts
+
 (* Each commit path returns its (log_write, fence, write_back)
    simulated-ns breakdown; {!commit} charges the remainder to the STM
    bookkeeping bucket so the four phases sum to the total exactly. *)
@@ -765,13 +996,7 @@ let commit_redo tx =
   let th = tx.th in
   let pool = th.pool in
   let env = th.view.Pmem.env in
-  let cts = Timestamp.next pool.ts env in
-  (* [Timestamp.next] yields; a transaction that validated in {!commit}
-     can have its read set overwritten by a commit slipping into that
-     window, yet still serialize *after* it at [cts].  Re-validate under
-     the fresh timestamp so cts order matches what was read (race found
-     by bin/sched_explore; regression traces in test/schedules/). *)
-  if not (validate tx) then raise Abort_internal;
+  let cts = draw_cts_validated tx in
   if pool.txprof != None then prof_phase th Obs.Txprof.ph_validate;
   (* Ascending-address write order, encoded into the thread's reusable
      buffer: no per-commit lists, arrays, or boxed values. *)
@@ -804,7 +1029,9 @@ let commit_redo tx =
      th.prof_mark <- t1;
      th.prof_bytes <- th.prof_bytes + (8 * len)
    end);
-  Pmlog.Rawl.flush th.log;  (* the durability point: one fence *)
+  (* the durability point: one fence — shared with the other
+     transactions retiring in the same drain window under group commit *)
+  if pool.cfg.group_commit then gc_retire th else Pmlog.Rawl.flush th.log;
   (match pmchk th with
   | None -> ()
   | Some chk -> Scm.Pmcheck.commit_logged chk ~log:(th_log_base th));
@@ -817,6 +1044,15 @@ let commit_redo tx =
       (Bytes.get_int64_le enc (8 * ((2 * i) + 3)))
   done;
   (match pool.cfg.truncation with
+  | Sync when pool.cfg.group_commit ->
+      (* defer, then retire a whole batch at once: the data-line flush
+         dedupes lines hot across the batch and the head advances (one
+         fence) once per batch instead of once per commit *)
+      Queue.push
+        { span; addrs = Array.sub th.sorted 0 n; txid = th.cur_txid }
+        th.pending_q;
+      if Queue.length th.pending_q >= max 1 pool.cfg.gc_trunc_batch then
+        drain_truncations_batched th
   | Sync ->
       flush_sorted_lines th.view th.sorted n;
       Pmlog.Rawl.truncate_all th.log;
@@ -839,9 +1075,8 @@ let commit_undo tx =
   let th = tx.th in
   let pool = th.pool in
   let env = th.view.Pmem.env in
-  let cts = Timestamp.next pool.ts env in
-  (* same validate-before-cts window as {!commit_redo} *)
-  if not (validate tx) then raise Abort_internal;
+  (* same validate-before-cts window (and lease floor) as {!commit_redo} *)
+  let cts = draw_cts_validated tx in
   if pool.txprof != None then prof_phase th Obs.Txprof.ph_validate;
   (* new values are already in place; make them durable, then the
      atomic log truncation is the commit point.  The per-store log
@@ -914,15 +1149,42 @@ let commit tx =
     | Eager_undo -> Wset.size tx.old_vals = 0
   in
   if read_only then begin
-    pool.ro_commits <- pool.ro_commits + 1;
-    (match pool.history with
-    | None -> ()
-    | Some emit ->
-        (* a read-only commit observed the snapshot at [rv]: it orders
-           directly after the writer whose cts it validated against *)
-        emit (history_record tx ~cts:tx.rv ~read_only:true));
-    prof_record tx ~writes:0;
-    true
+    (* With the shared counter, TL2's validation-free read-only commit
+       is sound as-is: every writer that committed after this
+       transaction began drew a timestamp above [rv], so the loads'
+       version checks against [rv] already prove the snapshot.  Leased
+       timestamps break that argument — a writer can commit *below*
+       [rv] — so the read-only commit serializes TicToc-style at the
+       newest version it read instead: revalidate the read set and
+       reserve that position on each read lock in the same yield-free
+       step, forcing later writers of those addresses above it. *)
+    if pool.cfg.ts_lease > 1 && not (validate tx) then false
+    else begin
+      let cts =
+        if pool.cfg.ts_lease <= 1 then tx.rv
+        else begin
+          let th = tx.th in
+          let locks = pool.locks in
+          let p = ref 0 in
+          for i = 0 to th.nrset - 1 do
+            if th.rset_ver.(i) > !p then p := th.rset_ver.(i)
+          done;
+          for i = 0 to th.nrset - 1 do
+            Lock_table.bump_rts locks th.rset_idx.(i) !p
+          done;
+          !p
+        end
+      in
+      pool.ro_commits <- pool.ro_commits + 1;
+      (match pool.history with
+      | None -> ()
+      | Some emit ->
+          (* a read-only commit orders directly after the writer whose
+             cts it validated against *)
+          emit (history_record tx ~cts ~read_only:true));
+      prof_record tx ~writes:0;
+      true
+    end
   end
   else if not (validate tx) then false
   else begin
@@ -992,12 +1254,18 @@ let run th f =
       th.cur_txid <- txid;
       env.Scm.Env.cur_txid <- txid;
       Pmlog.Rawl.set_owner th.log txid;
+      (* [prof_stall_ns] accumulates in [append_record] whether or not a
+         ledger is installed, so it must start clean unconditionally: a
+         stale stall from an unprofiled transaction leaking into the
+         first profiled one would land in its truncation-wait phase AND
+         be subtracted from its log phase — double-counted against the
+         phase-sum invariant (regression in test_obs.ml). *)
+      th.prof_stall_ns <- 0;
       (if pool.txprof != None then begin
          Array.fill th.prof_phases 0 Obs.Txprof.nphases 0;
          let now = env.Scm.Env.now () in
          th.prof_start <- now;
          th.prof_mark <- now;
-         th.prof_stall_ns <- 0;
          th.prof_retries <- 0;
          th.prof_bytes <- 0
        end);

@@ -48,13 +48,42 @@ type config = {
   log_cap_words : int;  (** Per-thread log buffer capacity. *)
   truncation : truncation;
   version_mgmt : version_mgmt;
-  lock_bits : int;  (** Lock table size = 2^lock_bits. *)
+  lock_bits : int;  (** Per-stripe lock table size = 2^lock_bits. *)
   max_attempts : int;  (** Retries before [Contention] is raised. *)
+  ts_lease : int;
+      (** Commit timestamps leased to a thread per shared-counter
+          transaction.  1 (the default) is the original draw-per-commit
+          protocol, bit-identical to before the knob existed.  Above 1,
+          commits draw from a thread-private lease and only refills
+          touch the shared line; leased values can leave the counter in
+          non-arrival order, so readers watermark the locks they
+          validate against ({!Lock_table.bump_rts}) and writers draw
+          above that watermark — cts order remains the serialization
+          (and recovery replay) order, which the {!History} oracle
+          checks. *)
+  lock_stripes : int;
+      (** Lock-table stripes (power of two; default 1 = the original
+          flat table).  Adjacent lines map to different stripes and the
+          total entry count multiplies, cutting both metadata
+          false-sharing and index aliasing. *)
+  group_commit : bool;
+      (** Share one durability fence among transactions retiring in the
+          same drain window (redo logging only), and batch synchronous
+          truncations [gc_trunc_batch] at a time.  Default false. *)
+  gc_window_ns : int;
+      (** How long a group-commit leader lingers gathering companions
+          before fencing (skipped when running alone); 0 fences
+          immediately with whoever has already arrived. *)
+  gc_trunc_batch : int;
+      (** Under [group_commit], synchronous truncations are deferred
+          and retired in batches of this size: one data-line flush pass
+          (hot lines deduped) and one head advance per batch. *)
 }
 
 val default_config : config
 (** 4 threads, 64 Ki-word logs, synchronous truncation, redo logging,
-    2^18 locks. *)
+    2^18 locks; every scalable-commit knob off (lease 1, one stripe,
+    no group commit) — the exact original protocol. *)
 
 exception Contention
 (** A transaction aborted [max_attempts] times in a row. *)

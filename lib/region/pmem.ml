@@ -162,6 +162,7 @@ let wtstore v addr x =
   P.wtstore v.env (translate v addr) x
 let flush v addr = P.flush v.env (translate v addr)
 let fence v = P.fence v.env
+let fence_many vs = P.fence_group (List.map (fun v -> v.env) vs)
 
 (* Byte ranges may span pages; physical contiguity holds only within a
    page, so chunk at page boundaries. *)

@@ -90,6 +90,12 @@ val store : view -> int -> int64 -> unit
 val wtstore : view -> int -> int64 -> unit
 val flush : view -> int -> unit
 val fence : view -> unit
+
+val fence_many : view list -> unit
+(** One fence covering several views' write-combining buffers (see
+    {!Scm.Primitives.fence_group}); the head of the list pays the
+    cost. *)
+
 val load_bytes : view -> int -> Bytes.t -> int -> int -> unit
 val store_bytes : view -> int -> Bytes.t -> int -> int -> unit
 val wtstore_bytes : view -> int -> Bytes.t -> int -> int -> unit

@@ -363,11 +363,16 @@ let note_covered t ~log a =
 (* Truncation                                                          *)
 
 (* A retired addr whose newest value is still volatile is only a
-   violation if no LATER record still covers it: in async-truncation
-   mode a hot word is re-logged by a younger session before the older
-   one retires, and truncating the older record does not endanger the
-   younger value. *)
-let covered_later l addr =
+   violation if no other un-truncated record still covers it: in
+   async-truncation mode a hot word is re-logged by a younger session
+   before the older one retires, and truncating the older record does
+   not endanger the younger value.  The covering record can live in ANY
+   log, not just the retiring one — the volatile value belongs to the
+   most recent committed writer, and that writer's own record (in its
+   own per-thread log) stays queued until its truncation, which flushes
+   the line before retiring.  Crash recovery replays every surviving
+   record in timestamp order, so the newest covered value wins. *)
+let covered_in l addr =
   Queue.fold
     (fun acc sess -> acc || Array.exists (fun a -> a = addr) sess)
     false l.sessions
@@ -375,11 +380,13 @@ let covered_later l addr =
      && Array.exists (fun a -> a = addr)
           (Array.sub l.inflight 0 l.inflight_n))
 
-let retire t l sess =
+let covered_later t addr = List.exists (fun l -> covered_in l addr) t.logs
+
+let retire t sess =
   Array.iter
     (fun a ->
       let s = get t a in
-      if s land where_mask <> 0 && not (covered_later l a) then
+      if s land where_mask <> 0 && not (covered_later t a) then
         violate t Trunc_unfenced ~addr:a
           (Printf.sprintf
              "log record truncated while %#x is still volatile (%s)" a
@@ -387,7 +394,7 @@ let retire t l sess =
               else "dirty in cache")))
     sess
 
-let note_truncate t ~log ~all =
+let note_truncate ?(count = 1) t ~log ~all =
   match log_at t log with
   | None -> ()
   | Some l ->
@@ -396,7 +403,7 @@ let note_truncate t ~log ~all =
           match Queue.take_opt l.sessions with
           | None -> ()
           | Some sess ->
-              retire t l sess;
+              retire t sess;
               drain ()
         in
         drain ();
@@ -409,7 +416,11 @@ let note_truncate t ~log ~all =
                    "undo log truncated while %#x is still volatile" a))
           l.undo_open
       end
-      else (
-        match Queue.take_opt l.sessions with
-        | None -> ()
-        | Some sess -> retire t l sess)
+      else
+        (* batched truncation retires several records with one head
+           advance; keep the session queue in lockstep *)
+        for _ = 1 to count do
+          match Queue.take_opt l.sessions with
+          | None -> ()
+          | Some sess -> retire t sess
+        done

@@ -107,6 +107,8 @@ val commit_end : t -> log:int -> unit
 val note_covered : t -> log:int -> int -> unit
 (** Eager-undo: an undo record covering the addr is durable. *)
 
-val note_truncate : t -> log:int -> all:bool -> unit
+val note_truncate : ?count:int -> t -> log:int -> all:bool -> unit
 (** The log is truncating: [all] retires every outstanding session
-    (plus open undo coverage), otherwise only the oldest. *)
+    (plus open undo coverage), otherwise the [count] oldest (default
+    1) — batched truncation advances the head over several records at
+    once. *)

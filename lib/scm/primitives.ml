@@ -104,6 +104,55 @@ let fence (env : Env.t) =
     Obs.complete obs Obs.Trace.Fence ~ts:t0 ~dur:(env.now () - t0) ~arg:bytes
   end
 
+(* One fence ordering several threads' pending streaming stores at once
+   (group commit).  Each member's WC buffer drains — so every member's
+   prior appends are durable afterwards, exactly as if each had fenced —
+   but the group shares a single serialization point: the head of the
+   list (the leader, the only member actually running; the rest are
+   parked) pays one fence base cost plus one combined streaming burst
+   through the memory controller instead of one burst per member.  Each
+   member still gets its own sanitizer fence note, so per-word
+   durability state stays exact. *)
+let fence_group_impl (envs : Env.t list) =
+  match envs with
+  | [] -> ()
+  | leader :: _ ->
+      Crashpoint.tick leader.machine.crash_point Crashpoint.Fence;
+      let total =
+        List.fold_left
+          (fun acc (env : Env.t) ->
+            let bytes = Wc_buffer.pending_bytes env.wc in
+            (match env.machine.pmcheck with
+            | None -> ()
+            | Some chk -> Pmcheck.note_fence chk ~pending_words:(bytes / 8));
+            Wc_buffer.drain env.wc;
+            acc + bytes)
+          0 envs
+      in
+      leader.delay leader.machine.latency.fence_base_ns;
+      if total > 0 then
+        media_write leader
+          (Latency_model.streaming_write_ns leader.machine.latency total)
+
+let fence_group (envs : Env.t list) =
+  match envs with
+  | [] -> ()
+  | leader :: _ ->
+      let obs = leader.machine.obs in
+      Obs.Metrics.incr leader.machine.fence_ctr;
+      if not (Obs.tracing obs) then fence_group_impl envs
+      else begin
+        let t0 = leader.now () in
+        let bytes =
+          List.fold_left
+            (fun acc (e : Env.t) -> acc + Wc_buffer.pending_bytes e.wc)
+            0 envs
+        in
+        fence_group_impl envs;
+        Obs.complete obs Obs.Trace.Fence ~ts:t0 ~dur:(leader.now () - t0)
+          ~arg:bytes
+      end
+
 let load_bytes (env : Env.t) addr buf off len =
   (* Go word by word so pending streaming stores are forwarded. *)
   let i = ref 0 in

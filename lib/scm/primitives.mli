@@ -39,6 +39,14 @@ val fence : Env.t -> unit
 (** Drain this thread's write-combining buffer; charges the
     bandwidth-limited drain cost. *)
 
+val fence_group : Env.t list -> unit
+(** One fence covering several threads' write-combining buffers (group
+    commit): every listed buffer drains — the same durability
+    postcondition as fencing each environment — but the head of the
+    list pays a single fence base cost and one combined streaming
+    burst.  The callers of the other environments must be parked while
+    this runs. *)
+
 val load_bytes : Env.t -> int -> Bytes.t -> int -> int -> unit
 (** Cached multi-byte read (word loads under the hood, with store
     forwarding honoured). *)

@@ -736,13 +736,14 @@ let prop_lock_acquire_reentrant =
       QCheck.assume (o1 <> o2);
       let t = Mtm.Lock_table.create ~bits:10 () in
       let open Mtm.Lock_table in
-      try_acquire t idx ~owner:o1
-      && try_acquire t idx ~owner:o1 (* re-entrant *)
-      && (not (try_acquire t idx ~owner:o2))
+      let addr = 64 * idx in
+      try_acquire t idx ~owner:o1 ~addr
+      && try_acquire t idx ~owner:o1 ~addr (* re-entrant *)
+      && (not (try_acquire t idx ~owner:o2 ~addr))
       && owner t idx = o1
       &&
       (release t idx;
-       owner t idx = -1 && try_acquire t idx ~owner:o2))
+       owner t idx = -1 && try_acquire t idx ~owner:o2 ~addr))
 
 let prop_lock_release_versioned =
   QCheck.Test.make
@@ -752,17 +753,202 @@ let prop_lock_release_versioned =
       let t = Mtm.Lock_table.create ~bits:10 () in
       let open Mtm.Lock_table in
       (* commit: the new version becomes visible exactly at release *)
-      ignore (try_acquire t idx ~owner:0);
+      ignore (try_acquire t idx ~owner:0 ~addr:(64 * idx));
       let before = version t idx in
       let mid = version t idx = before in
       release_versioned t idx ~version:v1;
       let committed = version t idx = v1 && owner t idx = -1 in
       (* abort: lock released, version untouched — concurrent readers
          that validated against v1 stay valid *)
-      ignore (try_acquire t idx ~owner:1);
+      ignore (try_acquire t idx ~owner:1 ~addr:(64 * idx));
       release t idx;
       mid && committed && version t idx = v1 && owner t idx = -1
       && (ignore v2; true))
+
+(* ------------------------------------------------------------------ *)
+(* Timestamp: the 62-bit ceiling and leased allocation *)
+
+(* An env that charges no simulated time: the timestamp tests exercise
+   arithmetic, not latency. *)
+let null_env () =
+  let m = Scm.Env.make_machine ~seed:1 ~nframes:64 () in
+  Scm.Env.view m ~delay:(fun _ -> ()) ~now:(fun () -> 0)
+
+(* Redo-record headers carry the commit timestamp in 62 usable bits
+   (the torn-bit log steals one, the OCaml int sign another).  Crossing
+   that ceiling would silently wrap and reorder recovery replay, so the
+   counter must fail loudly instead — on the shared bump, on a lease
+   refill, and on recovery's advance. *)
+let test_timestamp_ceiling () =
+  let env = null_env () in
+  Alcotest.(check int)
+    "ceiling is 2^62 - 1"
+    ((1 lsl 62) - 1)
+    Mtm.Timestamp.max_cts;
+  let ts = Mtm.Timestamp.create () in
+  Mtm.Timestamp.advance_to ts (Mtm.Timestamp.max_cts - 1);
+  Alcotest.(check int) "the last timestamp is issuable" Mtm.Timestamp.max_cts
+    (Mtm.Timestamp.next ts env);
+  Alcotest.check_raises "the bump past the ceiling fails loudly"
+    Mtm.Timestamp.Exhausted (fun () -> ignore (Mtm.Timestamp.next ts env));
+  Alcotest.check_raises "recovery advance past the ceiling fails loudly"
+    Mtm.Timestamp.Exhausted (fun () ->
+      Mtm.Timestamp.advance_to ts (Mtm.Timestamp.max_cts + 1));
+  (* a lease refill reserves a whole block up front: it must refuse to
+     reserve values it could never issue *)
+  let ts' = Mtm.Timestamp.create () in
+  Mtm.Timestamp.advance_to ts' (Mtm.Timestamp.max_cts - 2);
+  let l = Mtm.Timestamp.lease_create () in
+  Alcotest.check_raises "lease refill past the ceiling fails loudly"
+    Mtm.Timestamp.Exhausted (fun () ->
+      ignore (Mtm.Timestamp.draw ts' env l ~size:8 ~floor:0))
+
+(* The leased allocator's contract: every draw is globally unique
+   (disjoint leases), strictly above the caller's floor, and never
+   ahead of [now] — the invariants the recovery ordering and the
+   read-validation argument stand on. *)
+let prop_lease_draws_unique_above_floor =
+  QCheck.Test.make ~name:"leased draws: unique, above floor, bounded by now"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 60) (pair bool (int_bound 200)))
+    (fun ops ->
+      let env = null_env () in
+      let ts = Mtm.Timestamp.create () in
+      let la = Mtm.Timestamp.lease_create () in
+      let lb = Mtm.Timestamp.lease_create () in
+      let seen = Hashtbl.create 64 in
+      List.for_all
+        (fun (which, floor) ->
+          let l = if which then la else lb in
+          let c = Mtm.Timestamp.draw ts env l ~size:4 ~floor in
+          let fresh = not (Hashtbl.mem seen c) in
+          Hashtbl.replace seen c ();
+          fresh && c > floor && c <= Mtm.Timestamp.now ts)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Striped lock table geometry, and false-conflict attribution *)
+
+let prop_lock_striping_geometry =
+  QCheck.Test.make
+    ~name:"striping: capacity multiplies, adjacent lines change stripe"
+    ~count:200
+    QCheck.(pair (int_bound 3) (int_bound 0x0FFF_FFFF))
+    (fun (sbits, addr) ->
+      let stripes = 1 lsl sbits in
+      let t = Mtm.Lock_table.create ~bits:6 ~stripes () in
+      let entries = Mtm.Lock_table.entries t in
+      let h = Mtm.Lock_table.index_of t addr in
+      let line = addr lsr 6 in
+      (* striping multiplies the table instead of splitting it, so the
+         aliasing stride grows with the stripe count *)
+      entries = stripes * 64
+      && Mtm.Lock_table.stripes t = stripes
+      (* the handle is the line number modulo the enlarged table: one
+         stripe is bit-for-bit the historical flat table, and distinct
+         lines below the table size never alias *)
+      && h = line land (entries - 1)
+      (* the low handle bits select the stripe, so adjacent lines land
+         on different stripe arrays and a contiguous write set spreads
+         its lock metadata instead of queueing on one array *)
+      && (stripes = 1
+         || Mtm.Lock_table.index_of t (addr + 64) land (stripes - 1)
+            <> h land (stripes - 1))
+      (* every byte of a 64-byte line still shares one lock *)
+      && Mtm.Lock_table.index_of t ((line * 64) + 63) = h)
+
+(* The aliasing counter separates data conflicts from table-geometry
+   conflicts: contention on one word is a real conflict and must not
+   count, while contention between disjoint words that wrap onto the
+   same entry must. *)
+let test_false_conflict_counter () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      (* 2^4 entries: the table wraps every 16 lines = 1024 bytes *)
+      let cfg = { small_cfg with lock_bits = 4 } in
+      let pool = pool_of ~config:cfg pmem in
+      let data = data_region pmem 65536 in
+      let fc =
+        Obs.Metrics.counter (Mtm.Txn.obs pool).Obs.metrics
+          "mtm.lock.false_conflicts"
+      in
+      let sim = Sim.create () in
+      for i = 0 to 1 do
+        Sim.spawn sim (fun () ->
+            let th = Mtm.Txn.thread pool i (sim_env sim m) in
+            for _ = 1 to 20 do
+              Mtm.Txn.run th (fun tx ->
+                  let v = Mtm.Txn.load tx data in
+                  Sim.delay sim 500;
+                  Mtm.Txn.store tx data (Int64.add v 1L))
+            done)
+      done;
+      Sim.run sim;
+      Alcotest.(check bool) "same-word contention aborted" true
+        ((Mtm.Txn.stats pool).aborts > 0);
+      Alcotest.(check int) "a real conflict is not a false conflict" 0
+        (Obs.Metrics.counter_value fc);
+      let sim = Sim.create () in
+      Sim.spawn sim (fun () ->
+          let th = Mtm.Txn.thread pool 2 (sim_env sim m) in
+          for _ = 1 to 20 do
+            Mtm.Txn.run th (fun tx ->
+                Mtm.Txn.store tx data 1L;
+                (* hold the entry while the aliased writer arrives *)
+                Sim.delay sim 2_000)
+          done);
+      Sim.spawn sim (fun () ->
+          Sim.delay sim 700;
+          let th = Mtm.Txn.thread pool 3 (sim_env sim m) in
+          for _ = 1 to 20 do
+            (try Mtm.Txn.run th (fun tx -> Mtm.Txn.store tx (data + 1024) 2L)
+             with Mtm.Txn.Contention -> ());
+            Sim.delay sim 300
+          done);
+      Sim.run sim;
+      Alcotest.(check bool) "wrap aliasing attributed as false conflicts" true
+        (Obs.Metrics.counter_value fc > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Scalable commit end to end: leases + stripes + group commit survive
+   a crash with deferred truncations pending *)
+
+let test_scalable_commit_recovery () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let cfg =
+        { small_cfg with ts_lease = 4; lock_stripes = 4; group_commit = true }
+      in
+      let pool = pool_of ~config:cfg pmem in
+      let data = data_region pmem 4096 in
+      let sim = Sim.create () in
+      for i = 0 to 3 do
+        Sim.spawn sim (fun () ->
+            let th = Mtm.Txn.thread pool i (sim_env sim m) in
+            for _ = 1 to 25 do
+              Mtm.Txn.run th (fun tx ->
+                  let v = Mtm.Txn.load tx data in
+                  Mtm.Txn.store tx data (Int64.add v 1L))
+            done)
+      done;
+      Sim.run sim;
+      Alcotest.(check int64) "no lost updates" 100L
+        (Region.Pmem.load (Region.Pmem.default_view pmem) data);
+      (* crash with group commit's deferred truncations still pending:
+         the logs hold committed redo whose write-back never ran *)
+      Scm.Crash.inject
+        ~policy:{ cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_apply_all }
+        m;
+      let _, pmem' = reboot m dir in
+      let pool' = pool_of ~config:cfg pmem' in
+      Alcotest.(check bool) "commits replayed from the logs" true
+        (Mtm.Txn.recovered_txns pool' > 0);
+      (* leased timestamps land in the per-thread logs out of arrival
+         order; cts-sorted replay must reconstruct the serial order,
+         and a counter pins it: replaying any commit out of place
+         leaves a value other than the last one *)
+      Alcotest.(check int64) "recovered exactly" 100L
+        (Region.Pmem.load (Region.Pmem.default_view pmem') data))
 
 (* ------------------------------------------------------------------ *)
 (* Abort-path interleavings: the satellite audits of the schedule-
@@ -977,6 +1163,20 @@ let () =
           QCheck_alcotest.to_alcotest prop_lock_striding;
           QCheck_alcotest.to_alcotest prop_lock_acquire_reentrant;
           QCheck_alcotest.to_alcotest prop_lock_release_versioned;
+          QCheck_alcotest.to_alcotest prop_lock_striping_geometry;
+          Alcotest.test_case "false conflict counter" `Quick
+            test_false_conflict_counter;
+        ] );
+      ( "timestamp",
+        [
+          Alcotest.test_case "ceiling fails loudly" `Quick
+            test_timestamp_ceiling;
+          QCheck_alcotest.to_alcotest prop_lease_draws_unique_above_floor;
+        ] );
+      ( "scalable commit",
+        [
+          Alcotest.test_case "recovery with leases and group commit" `Quick
+            test_scalable_commit_recovery;
         ] );
       ( "abort interleavings",
         [

@@ -469,6 +469,53 @@ let test_phase_sum_invariant () =
           contains "Txn_commit";
           contains "Flow_start"))
 
+(* Regression: log-full stall time is charged to exactly one phase of
+   the transaction that suffered it.  The stall accumulator lives on
+   the thread and is drained by the instrumented commit path; a stall
+   served while no profiler was installed must not leak into the first
+   instrumented commit — [run] resets the accumulator unconditionally,
+   not only when a ledger is attached.  The leak shows up as a phase
+   sum exceeding the entry's total. *)
+let test_stall_not_leaked_across_install () =
+  with_tmpdir (fun dir ->
+      let m = Scm.Env.make_machine ~seed:7 ~nframes:4096 () in
+      let backing = Region.Backing_store.open_dir dir in
+      let pmem = Region.Pmem.open_instance m backing in
+      let config =
+        {
+          Mtm.Txn.default_config with
+          nthreads = 1;
+          truncation = Mtm.Txn.Async;
+          log_cap_words = 64;
+        }
+      in
+      let pool = Mtm.Txn.create_pool ~config pmem None in
+      let v = Region.Pmem.default_view pmem in
+      let base = Region.Pmem.pmap v 65536 in
+      ignore (Region.Pmem.load v base);
+      let th = Mtm.Txn.thread pool 0 v.env in
+      (* fill the 64-word log until the producer stalls and
+         self-drains, repeatedly — all before any profiler exists *)
+      for k = 0 to 19 do
+        Mtm.Txn.run th (fun tx ->
+            for j = 0 to 3 do
+              Mtm.Txn.store tx (base + (k * 256) + (j * 8)) 1L
+            done)
+      done;
+      let tp = Obs.Txprof.create (Mtm.Txn.obs pool).Obs.metrics in
+      Mtm.Txn.set_txprof pool (Some tp);
+      Mtm.Txn.run th (fun tx -> Mtm.Txn.store tx base 9L);
+      Alcotest.(check int) "one instrumented commit" 1 (Obs.Txprof.count tp);
+      List.iter
+        (fun e ->
+          if Obs.Txprof.phase_sum e <> e.Obs.Txprof.total_ns then
+            Alcotest.failf
+              "pre-install stall leaked into the ledger: phase sum %d <> \
+               total %d (trunc_wait %d)"
+              (Obs.Txprof.phase_sum e) e.Obs.Txprof.total_ns
+              e.Obs.Txprof.phases.(Obs.Txprof.ph_trunc_wait))
+        (Obs.Txprof.top tp))
+
 (* The disabled path must stay allocation-free: with no trace and no
    ledger installed every hook is one branch, and a commit's footprint
    stays within the perf baseline's minor-words budget. *)
@@ -526,6 +573,8 @@ let () =
             test_topk_adversarial;
           Alcotest.test_case "phase sum equals duration" `Quick
             test_phase_sum_invariant;
+          Alcotest.test_case "stall not leaked across install" `Quick
+            test_stall_not_leaked_across_install;
         ] );
       ( "integration",
         [
