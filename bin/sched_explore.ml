@@ -26,6 +26,7 @@
      sched_explore [--seeds N] [--seed0 K] [--policy P] [--threads T]
                    [--txns N] [--slots S] [--undo] [--trace]
                    [--lease N] [--stripes N] [--group-commit]
+                   [--pipeline] [--cm-adaptive]
                    [--record FILE | --replay FILE] [--dir D] [-v]
 *)
 
@@ -163,7 +164,7 @@ let run_sweep ~cfg0 ~policies ~seeds ~seed0 ~verbose =
 (* Command line                                                        *)
 
 let run seeds seed0 policy threads txns slots undo zero_lat lease stripes
-    group_commit trace pmcheck record replay dir verbose =
+    group_commit pipeline cm_adaptive trace pmcheck record replay dir verbose =
   let cfg0 =
     {
       (H.default_cfg ~dir) with
@@ -175,6 +176,8 @@ let run seeds seed0 policy threads txns slots undo zero_lat lease stripes
       lease;
       stripes;
       group_commit;
+      pipeline;
+      cm_adaptive;
       trace;
       pmcheck;
       seed = seed0;
@@ -262,6 +265,23 @@ let group_commit =
           "Share one durability fence among transactions retiring in the \
            same drain window (Txn.config.group_commit).")
 
+let pipeline =
+  Arg.(
+    value & flag
+    & info [ "pipeline" ]
+        ~doc:
+          "Pipelined commit (Txn.config.pipeline): locks release at the \
+           durability fence and a drainer daemon retires the deferred \
+           write-backs.  Fuzzes the release-to-write-back window.")
+
+let cm_adaptive =
+  Arg.(
+    value & flag
+    & info [ "cm-adaptive" ]
+        ~doc:
+          "Adaptive contention manager (Txn.config.cm = Cm_adaptive): \
+           wait-die timestamp priority plus capped exponential backoff.")
+
 let trace =
   Arg.(
     value & flag
@@ -307,7 +327,7 @@ let cmd =
           run for conflict serializability")
     Term.(
       const run $ seeds $ seed0 $ policy $ threads $ txns $ slots $ undo
-      $ zero_lat $ lease $ stripes $ group_commit $ trace $ pmcheck $ record
-      $ replay $ dir $ verbose)
+      $ zero_lat $ lease $ stripes $ group_commit $ pipeline $ cm_adaptive
+      $ trace $ pmcheck $ record $ replay $ dir $ verbose)
 
 let () = exit (Cmd.eval' cmd)

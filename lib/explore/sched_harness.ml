@@ -11,6 +11,8 @@ type cfg = {
   lease : int;  (* Txn.config.ts_lease (1 = legacy shared counter) *)
   stripes : int;  (* Txn.config.lock_stripes *)
   group_commit : bool;  (* share the durability fence across commits *)
+  pipeline : bool;  (* pipelined commit, with a Sim.Service drainer *)
+  cm_adaptive : bool;  (* adaptive contention manager (wait-die) *)
   trace : bool;
   pmcheck : bool;  (* run under the durability sanitizer *)
   dir : string;
@@ -28,6 +30,8 @@ let default_cfg ~dir =
     lease = 1;
     stripes = 1;
     group_commit = false;
+    pipeline = false;
+    cm_adaptive = false;
     trace = false;
     pmcheck = false;
     dir;
@@ -83,6 +87,8 @@ let mtm_config cfg =
     ts_lease = cfg.lease;
     lock_stripes = cfg.stripes;
     group_commit = cfg.group_commit;
+    pipeline = cfg.pipeline;
+    cm = (if cfg.cm_adaptive then Mtm.Txn.Cm_adaptive else Mtm.Txn.Cm_legacy);
   }
 
 let reset_or_die dir =
@@ -151,6 +157,25 @@ let run ?schedule cfg =
            Obs.instant_at obs Obs.Trace.Sched_decision ~ts:(Sim.now sim)
              ~arg:key));
   let contention = ref 0 in
+  (* Pipelined runs get the first-class drainer daemon: a Sim.Service
+     sweeping every thread's pending write-backs, woken by commits.  A
+     parked daemon at simulation end would deadlock the run, so the
+     last worker to finish stops it (stop drains leftovers first). *)
+  let service = ref None in
+  if cfg.pipeline then begin
+    let denv =
+      Scm.Env.view machine
+        ~delay:(fun ns -> Sim.delay sim ns)
+        ~now:(fun () -> Sim.now sim)
+    in
+    let dview = Pmem.view (Mtm.Txn.pmem pool) denv in
+    let svc =
+      Sim.Service.spawn sim ~work:(fun () -> Mtm.Txn.drain_pipeline pool dview)
+    in
+    Mtm.Txn.set_drain_wake pool (Some (fun _tid -> Sim.Service.wake svc));
+    service := Some svc
+  end;
+  let running = ref cfg.threads in
   for i = 0 to cfg.threads - 1 do
     Sim.spawn sim (fun () ->
         let env =
@@ -182,11 +207,17 @@ let run ?schedule cfg =
           with
           | () -> ()
           | exception Mtm.Txn.Contention -> incr contention
-        done)
+        done;
+        decr running;
+        if !running = 0 then
+          match !service with
+          | Some svc -> Sim.Service.stop svc
+          | None -> ())
   done;
   Sim.run sim;
   Mtm.Txn.set_history_hook pool None;
   Mtm.Txn.set_backoff_draw pool None;
+  Mtm.Txn.set_drain_wake pool None;
   Sim.Schedule.set_observer sched None;
   let view = Mnemosyne.view inst in
   let violations =
@@ -227,6 +258,8 @@ let save_schedule outcome cfg path =
   Sim.Schedule.set_meta s "lease" (string_of_int cfg.lease);
   Sim.Schedule.set_meta s "stripes" (string_of_int cfg.stripes);
   Sim.Schedule.set_meta s "group_commit" (if cfg.group_commit then "1" else "0");
+  Sim.Schedule.set_meta s "pipeline" (if cfg.pipeline then "1" else "0");
+  Sim.Schedule.set_meta s "cm" (if cfg.cm_adaptive then "adaptive" else "legacy");
   Sim.Schedule.set_meta s "pmcheck" (if cfg.pmcheck then "1" else "0");
   Sim.Schedule.save s path
 
@@ -249,5 +282,7 @@ let cfg_of_schedule ~dir sched =
     lease = geti "lease" d.lease;
     stripes = geti "stripes" d.stripes;
     group_commit = Sim.Schedule.meta sched "group_commit" = Some "1";
+    pipeline = Sim.Schedule.meta sched "pipeline" = Some "1";
+    cm_adaptive = Sim.Schedule.meta sched "cm" = Some "adaptive";
     pmcheck = Sim.Schedule.meta sched "pmcheck" = Some "1";
   }

@@ -28,6 +28,15 @@ type cfg = {
           refills racing other commits — common. *)
   stripes : int;  (** {!Mtm.Txn.config.lock_stripes}. *)
   group_commit : bool;  (** {!Mtm.Txn.config.group_commit}. *)
+  pipeline : bool;
+      (** {!Mtm.Txn.config.pipeline}: pipelined commit, with a
+          {!Sim.Service} drainer daemon woken by commits and stopped by
+          the last finishing worker.  Fuzzing this covers the new
+          release-at-fence window (a reader acquiring a line between
+          lock release and deferred write-back). *)
+  cm_adaptive : bool;
+      (** Run under {!Mtm.Txn.Cm_adaptive} instead of the legacy
+          contention manager. *)
   trace : bool;  (** Record an observability trace during the run. *)
   pmcheck : bool;
       (** Install the {!Scm.Pmcheck} durability sanitizer before the

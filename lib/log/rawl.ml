@@ -275,12 +275,17 @@ let flush t = Pmem.fence t.v
    thread, which pays the combined cost. *)
 let flush_group ts = Pmem.fence_many (List.map (fun t -> t.v) ts)
 
-let set_head t ~off ~parity ~tpos =
+(* Post the new head word without the fence: the group truncation path
+   batches several logs' head advances under one combined fence. *)
+let post_head t ~off ~parity ~tpos =
   Pmem.wtstore t.v (head_addr t) (pack_head ~off ~parity ~tpos);
-  Pmem.fence t.v;
   t.head_off <- off;
   t.head_parity <- parity;
   t.head_tpos <- tpos
+
+let set_head t ~off ~parity ~tpos =
+  post_head t ~off ~parity ~tpos;
+  Pmem.fence t.v
 
 (* Shift the torn bit one position down and erase the buffer (zeros
    read as torn bit 0 at any position, and the fresh generation starts
@@ -314,7 +319,7 @@ let truncate_all t =
   else set_head t ~off:t.tail_off ~parity:t.tail_parity ~tpos:t.tail_tpos;
   note_truncate t ~words
 
-let advance_head ?(records = 1) t ~words =
+let advance_head_post ~records t ~words =
   if words < 0 || words > used_words t then
     invalid_arg "Rawl.advance_head: beyond tail";
   (match pmchk t.v with
@@ -322,12 +327,31 @@ let advance_head ?(records = 1) t ~words =
   | Some chk ->
       Scm.Pmcheck.note_truncate chk ~count:records ~log:t.base ~all:false);
   let raw = t.head_off + words in
-  (if raw >= t.cap then begin
-     let parity, tpos = next_pass t ~parity:t.head_parity ~tpos:t.head_tpos in
-     set_head t ~off:(raw - t.cap) ~parity ~tpos
-   end
-   else set_head t ~off:raw ~parity:t.head_parity ~tpos:t.head_tpos);
+  if raw >= t.cap then begin
+    let parity, tpos = next_pass t ~parity:t.head_parity ~tpos:t.head_tpos in
+    post_head t ~off:(raw - t.cap) ~parity ~tpos
+  end
+  else post_head t ~off:raw ~parity:t.head_parity ~tpos:t.head_tpos
+
+let advance_head ?(records = 1) t ~words =
+  advance_head_post ~records t ~words;
+  Pmem.fence t.v;
   note_truncate t ~words
+
+(* The drainer's batched retirement: every listed log's head word is
+   posted, then ONE combined fence (the running fiber's log leads, as
+   in {!flush_group}) makes them all durable, then the per-log metrics
+   fire.  Equivalent to [advance_head] on each log but with a single
+   fence for the whole sweep. *)
+let advance_head_group entries =
+  match List.filter (fun (_, _, words) -> words > 0) entries with
+  | [] -> ()
+  | live ->
+      List.iter
+        (fun (t, records, words) -> advance_head_post ~records t ~words)
+        live;
+      Pmem.fence_many (List.map (fun (t, _, _) -> t.v) live);
+      List.iter (fun (t, _, words) -> note_truncate t ~words) live
 
 (* ------------------------------------------------------------------ *)
 (* Recovery *)

@@ -109,6 +109,16 @@ val advance_head : ?records:int -> t -> words:int -> unit
     durability sanitizer retires its per-record sessions in lockstep
     with the head. *)
 
+val advance_head_group : (t * int * int) list -> unit
+(** [advance_head_group [(log, records, words); ...]] retires records
+    from several logs with one combined fence: every listed log's new
+    head word is posted, then a single {!Region.Pmem.fence_many} (the
+    first listed log's fiber pays the combined cost, as in
+    {!flush_group}) makes them all durable.  Entries with [words = 0]
+    are skipped.  This is the pipelined drainer's batched truncation:
+    a sweep over many threads' retired commits costs one fence, not
+    one per log. *)
+
 val used_words : t -> int
 val free_words : t -> int
 val capacity : t -> int

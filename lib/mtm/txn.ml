@@ -3,6 +3,16 @@ module Pmem = Region.Pmem
 type truncation = Sync | Async
 type version_mgmt = Lazy_redo | Eager_undo
 
+(* Conflict-management policy.  [Cm_legacy] is the historical behaviour
+   (abort on any foreign owner, linear randomized backoff),
+   bit-identical to before the knob existed.  [Cm_adaptive] adds
+   timestamp-priority waiting (wait-die: an older transaction waits a
+   bounded time for a younger lock owner; a younger one aborts at once,
+   so wait chains run strictly old-to-young and cannot cycle) and
+   capped exponential backoff scaled by how contended the aborting
+   line has been. *)
+type cm = Cm_legacy | Cm_adaptive
+
 type config = {
   nthreads : int;
   log_cap_words : int;
@@ -19,6 +29,16 @@ type config = {
   group_commit : bool;  (* share one log-flush fence per drain window *)
   gc_window_ns : int;  (* leader lingers this long gathering companions *)
   gc_trunc_batch : int;  (* sync truncations retired per batch *)
+  (* Pipelined-commit knobs.  Off by default: with [pipeline = false]
+     the path below the durability point is the scalable protocol,
+     bit-identical. *)
+  pipeline : bool;
+      (* release write locks right after the durability fence and hand
+         data-line flushing + log truncation to a drainer *)
+  pipe_window : int;  (* commits in flight awaiting write-back, per thread *)
+  cm : cm;
+  cm_wait_ns : int;  (* adaptive: bounded wait on a younger lock owner *)
+  cm_backoff_cap_ns : int;  (* adaptive: retry-backoff ceiling *)
 }
 
 let default_config =
@@ -34,6 +54,11 @@ let default_config =
     group_commit = false;
     gc_window_ns = 0;
     gc_trunc_batch = 8;
+    pipeline = false;
+    pipe_window = 8;
+    cm = Cm_legacy;
+    cm_wait_ns = 800;
+    cm_backoff_cap_ns = 12800;
   }
 
 exception Contention
@@ -88,6 +113,22 @@ type pool = {
      fence, and whether a leader is currently draining a window. *)
   mutable gc_waiters : thread list;
   mutable gc_leading : bool;
+  (* Pipelined commit: every bound thread, for the drainer's sweep, and
+     the hook that wakes a drainer daemon when work is queued.  The
+     hook receives the committing thread's id so a sharded deployment
+     (one daemon per group of threads, see {!drain_pipeline}'s [shard])
+     wakes only the daemon responsible for that thread. *)
+  mutable threads : thread list;
+  mutable drain_wake : (int -> unit) option;
+  (* Contention manager: the priority stamp each thread slot publishes
+     while a transaction runs there (its txid; [max_int] when idle —
+     stable across retries, so a long-retrying transaction ages into
+     higher priority), per-line abort attribution, and accumulated
+     backoff/wait time for the benchmark breakdowns. *)
+  cm_stamps : int array;
+  abort_lines : (int, int ref) Hashtbl.t;
+  mutable backoff_ns : int;
+  mutable cm_waits : int;
 }
 
 and thread = {
@@ -120,6 +161,12 @@ and thread = {
   mutable r_vals : int64 array;
   mutable nreads : int;
   mutable cur_txid : int;  (* id of the transaction running here, 0 = none *)
+  mutable draining : bool;
+      (* the drainer popped this queue and has not yet advanced the
+         head: inline drains must wait instead of double-retiring *)
+  mutable last_conflict_addr : int;
+      (* address whose lock conflict caused the latest abort, for the
+         adaptive backoff's per-line contention scaling *)
   (* Per-transaction profile scratch, only maintained when the pool has
      a {!Obs.Txprof} ledger installed.  [prof_mark] is a running
      timestamp: each phase boundary attributes [now - prof_mark] to one
@@ -172,7 +219,21 @@ let reset_stats (pool : pool) =
   pool.ro_commits <- 0;
   pool.retries <- 0;
   pool.contention_failures <- 0;
-  pool.log_full_stalls <- 0
+  pool.log_full_stalls <- 0;
+  pool.backoff_ns <- 0;
+  pool.cm_waits <- 0;
+  Hashtbl.reset pool.abort_lines
+
+let backoff_ns (pool : pool) = pool.backoff_ns
+let cm_waits (pool : pool) = pool.cm_waits
+
+(* Per-line abort attribution, hottest line first: which addresses the
+   contention manager is actually fighting over. *)
+let abort_attribution (pool : pool) =
+  Hashtbl.fold (fun line r acc -> (line, !r) :: acc) pool.abort_lines []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let set_drain_wake pool w = pool.drain_wake <- w
 
 type log_usage = { slot : int; base : int; cap_words : int; used : int }
 
@@ -220,6 +281,12 @@ let create_pool ?(config = default_config) pmem heap =
       "Txn.create_pool: group commit amortizes the redo-log flush and \
        requires redo logging";
   if config.ts_lease < 1 then invalid_arg "Txn.create_pool: ts_lease < 1";
+  if config.pipeline && config.version_mgmt = Eager_undo then
+    invalid_arg
+      "Txn.create_pool: the pipelined commit defers data write-back \
+       behind a durable redo record and requires redo logging";
+  if config.pipeline && config.pipe_window < 1 then
+    invalid_arg "Txn.create_pool: pipe_window < 1";
   let v = Pmem.default_view pmem in
   let obs = v.Pmem.env.Scm.Env.machine.Scm.Env.obs in
   let m = obs.Obs.metrics in
@@ -255,6 +322,12 @@ let create_pool ?(config = default_config) pmem heap =
       next_txid = 0;
       gc_waiters = [];
       gc_leading = false;
+      threads = [];
+      drain_wake = None;
+      cm_stamps = Array.make config.nthreads max_int;
+      abort_lines = Hashtbl.create 64;
+      backoff_ns = 0;
+      cm_waits = 0;
     }
   in
   (* Recovery: gather complete records from every thread log, replay in
@@ -357,6 +430,7 @@ let thread pool i env =
       Pmlog.Rawl.truncate_all log
   | _ -> ());
   Timestamp.register_thread pool.ts;
+  let th =
   {
     id = i;
     pool;
@@ -381,6 +455,8 @@ let thread pool i env =
     r_vals = Array.make 8 0L;
     nreads = 0;
     cur_txid = 0;
+    draining = false;
+    last_conflict_addr = 0;
     prof_phases = Array.make Obs.Txprof.nphases 0;
     prof_start = 0;
     prof_mark = 0;
@@ -388,6 +464,9 @@ let thread pool i env =
     prof_retries = 0;
     prof_bytes = 0;
   }
+  in
+  pool.threads <- th :: pool.threads;
+  th
 
 let set_history_hook pool h = pool.history <- h
 let set_backoff_draw pool d = pool.backoff_draw <- d
@@ -485,7 +564,58 @@ let[@inline] note_false_conflict tx locks idx ~addr =
   if Lock_table.aliased locks idx ~addr then
     Obs.Metrics.incr tx.th.pool.fc_aliased
 
-let load tx addr =
+(* ------------------------------------------------------------------ *)
+(* Contention management                                               *)
+
+(* Abort on a lock conflict at [addr]: remember the address (the
+   adaptive backoff scales with how contended its line has been) and
+   attribute the abort to its 64-byte line.  Plain table ops — no
+   simulated time, no rng — so the legacy schedule is untouched. *)
+let abort_on_conflict tx addr =
+  let th = tx.th in
+  th.last_conflict_addr <- addr;
+  let line = addr land lnot 63 in
+  (match Hashtbl.find_opt th.pool.abort_lines line with
+  | Some r -> incr r
+  | None -> Hashtbl.add th.pool.abort_lines line (ref 1));
+  raise Abort_internal
+
+let line_abort_count pool addr =
+  match Hashtbl.find_opt pool.abort_lines (addr land lnot 63) with
+  | Some r -> !r
+  | None -> 0
+
+(* Wait-die: only an older transaction (smaller published stamp) ever
+   waits, so wait chains run strictly old-to-young and cannot cycle;
+   the bounded budget makes that doubly safe.  Only reachable under
+   [Cm_adaptive]. *)
+let cm_poll_ns = 80
+
+let[@inline] cm_should_wait th o =
+  th.pool.cfg.cm == Cm_adaptive
+  && o >= 0
+  && o < Array.length th.pool.cm_stamps
+  && th.pool.cm_stamps.(th.id) < th.pool.cm_stamps.(o)
+
+(* Poll (bounded by [cm_wait_ns]) for the younger owner to release;
+   true when the lock changed hands, i.e. the access is worth
+   retrying instead of aborting the whole attempt. *)
+let cm_wait_for_release th locks idx ~owner =
+  let pool = th.pool in
+  let env = th.view.Pmem.env in
+  pool.cm_waits <- pool.cm_waits + 1;
+  let budget = ref pool.cfg.cm_wait_ns in
+  let freed = ref false in
+  while (not !freed) && !budget > 0 do
+    let q = min cm_poll_ns !budget in
+    env.Scm.Env.delay q;
+    pool.backoff_ns <- pool.backoff_ns + q;
+    budget := !budget - q;
+    freed := Lock_table.owner locks idx <> owner
+  done;
+  !freed
+
+let rec load tx addr =
   delay tx (latency tx).stm_access_ns;
   let slot = Wset.find_slot tx.wset addr in
   if slot >= 0 then Wset.value_at tx.wset slot
@@ -509,7 +639,9 @@ let load tx addr =
     end
     else if o <> -1 then begin
       note_false_conflict tx locks idx ~addr;
-      raise Abort_internal
+      if cm_should_wait tx.th o && cm_wait_for_release tx.th locks idx ~owner:o
+      then load tx addr
+      else abort_on_conflict tx addr
     end
     else begin
       let v1 = Lock_table.version locks idx in
@@ -521,7 +653,7 @@ let load tx addr =
       then begin
         if Lock_table.owner locks idx <> -1 then
           note_false_conflict tx locks idx ~addr;
-        raise Abort_internal
+        abort_on_conflict tx addr
       end;
       if v1 > tx.rv then begin
         extend tx;
@@ -531,7 +663,7 @@ let load tx addr =
            version we are about to record. *)
         if Lock_table.owner locks idx <> -1
            || Lock_table.version locks idx <> v1
-        then raise Abort_internal
+        then abort_on_conflict tx addr
       end;
       push_read tx.th idx v1;
       (* No watermark here: the commit that justifies this read — the
@@ -566,24 +698,26 @@ let log_undo tx addr old =
   | Pmlog.Rawl.Full -> failwith "Txn: undo log full (transaction too large)");
   Pmlog.Rawl.flush tx.th.log
 
-let store tx addr v =
+let rec store tx addr v =
   delay tx (latency tx).stm_access_ns;
   if not (Region.Layout.is_persistent addr) then
     invalid_arg "Txn.store: address outside the persistent range";
   let locks = tx.th.pool.locks in
   let idx = Lock_table.index_of locks addr in
   let o = Lock_table.owner locks idx in
-  if o = tx.th.id then ()
-  else if o <> -1 then begin
+  if o <> tx.th.id && o <> -1 then begin
     note_false_conflict tx locks idx ~addr;
-    raise Abort_internal
+    if cm_should_wait tx.th o && cm_wait_for_release tx.th locks idx ~owner:o
+    then store tx addr v
+    else abort_on_conflict tx addr
   end
   else begin
-    if Lock_table.version locks idx > tx.rv then extend tx;
-    if not (Lock_table.try_acquire locks idx ~owner:tx.th.id ~addr) then
-      raise Abort_internal;
-    push_wlock tx.th idx
-  end;
+  (if o = -1 then begin
+     if Lock_table.version locks idx > tx.rv then extend tx;
+     if not (Lock_table.try_acquire locks idx ~owner:tx.th.id ~addr) then
+       abort_on_conflict tx addr;
+     push_wlock tx.th idx
+   end);
   match tx.th.pool.cfg.version_mgmt with
   | Lazy_redo ->
       (match pmchk tx.th with
@@ -608,6 +742,7 @@ let store tx addr v =
       (* eager: the new value goes straight to memory; isolation holds
          because the lock is owned until commit *)
       Pmem.store tx.th.view addr v
+  end
 
 let read_bytes tx addr len =
   if addr land 7 <> 0 then invalid_arg "Txn.read_bytes: alignment";
@@ -790,6 +925,135 @@ let drain_truncations_blocking th =
     done
 
 (* ------------------------------------------------------------------ *)
+(* Pipelined commit: the write-back drainer                            *)
+
+let drain_poll_ns = 60
+
+(* Inline drain of this thread's own queue, mutually excluded against
+   the pool drainer: if the drainer already popped the queue (so the
+   head has not advanced yet), wait for it rather than double-retiring
+   records. *)
+let pipe_drain_self th =
+  if th.draining then begin
+    let env = th.view.Pmem.env in
+    while th.draining do
+      env.Scm.Env.delay drain_poll_ns
+    done
+  end
+  else begin
+    th.draining <- true;
+    drain_truncations_batched th;
+    th.draining <- false
+  end
+
+(* The in-flight window: a pipelined commit returns with its data
+   write-back still pending; once [pipe_window] commits are pending on
+   this thread the producer blocks here until the drainer retires
+   some.  Time blocked is the profiler's drain-wait phase.  With no
+   daemon installed the producer clears its own window — the pipeline
+   degrades to batched inline truncation rather than deadlocking. *)
+let pipe_backpressure th =
+  let pool = th.pool in
+  let window = max 1 pool.cfg.pipe_window in
+  if Queue.length th.pending_q >= window then begin
+    (match pool.drain_wake with
+    | None -> pipe_drain_self th
+    | Some wake ->
+        wake th.id;
+        let env = th.view.Pmem.env in
+        let polls = ref 0 in
+        while Queue.length th.pending_q >= window && !polls < 4096 do
+          env.Scm.Env.delay drain_poll_ns;
+          incr polls;
+          if !polls land 63 = 0 then wake th.id
+        done;
+        (* daemon starved or gone: clear the window ourselves *)
+        if Queue.length th.pending_q >= window then pipe_drain_self th);
+    if pool.txprof != None then prof_phase th Obs.Txprof.ph_drain_wait
+  end
+
+(* One sweep of the pool-level drainer: pop every registered thread's
+   queued commits in a yield-free snapshot (producers pushing while the
+   sweep's memory traffic is charged land in the next round, and inline
+   drains see either a full queue or an empty one — never half), charge
+   the descriptor reads to the drainer's own fiber, flush the union of
+   the batch's data lines (lines hot across threads flushed once) under
+   one fence, then advance every log's head with one more combined
+   fence ({!Pmlog.Rawl.advance_head_group}).  False when no thread had
+   work.  This is the asynchronous stage that lets transaction [n+1]
+   run while transaction [n]'s write-back drains.
+
+   Unlike the legacy async truncation daemon — which scans the log and
+   pays {!charge_log_read} per record, the paper's figure-6 cost — the
+   pipelined commit hands the drainer a volatile work descriptor (the
+   write-set addresses, captured at commit time while they were in
+   registers), so the drainer touches DRAM once per record and the log
+   itself is only ever re-read by recovery.
+
+   [shard = (k, n)] sweeps only threads with [id mod n = k]: one
+   drainer fiber serializes every producer's flush traffic through
+   itself, so deployments with many threads shard the pool across
+   several daemons (the bench uses one per 4 workers) and wake the
+   responsible one via the thread id passed to the [drain_wake]
+   hook. *)
+let drain_pipeline ?shard pool (dview : Pmem.view) =
+  let mine th =
+    match shard with None -> true | Some (k, n) -> th.id mod n = k
+  in
+  let batches = ref [] in
+  let total_addrs = ref 0 in
+  List.iter
+    (fun th ->
+      if mine th && (not th.draining) && not (Queue.is_empty th.pending_q)
+      then begin
+        th.draining <- true;
+        let records = ref 0 and words = ref 0 in
+        let addrs = ref [] and txids = ref [] in
+        while not (Queue.is_empty th.pending_q) do
+          let p = Queue.pop th.pending_q in
+          incr records;
+          words := !words + p.span;
+          total_addrs := !total_addrs + Array.length p.addrs;
+          addrs := p.addrs :: !addrs;
+          if p.txid <> 0 then txids := p.txid :: !txids
+        done;
+        batches := (th, !records, !words, !addrs, !txids) :: !batches
+      end)
+    pool.threads;
+  match !batches with
+  | [] -> false
+  | batches ->
+      (* one DRAM touch per descriptor (the queue entry; the address
+         array rides in the same lines) — not a log re-read *)
+      let nrecords =
+        List.fold_left (fun acc (_, r, _, _, _) -> acc + r) 0 batches
+      in
+      dview.Pmem.env.delay
+        (nrecords * dview.Pmem.env.machine.latency.dram_read_ns);
+      let all = Array.make (max 1 !total_addrs) 0 in
+      let off = ref 0 in
+      List.iter
+        (fun (_, _, _, addr_arrays, _) ->
+          List.iter
+            (fun a ->
+              Array.blit a 0 all !off (Array.length a);
+              off := !off + Array.length a)
+            addr_arrays)
+        batches;
+      Wset.sort_prefix all ~len:!total_addrs;
+      flush_sorted_lines dview all !total_addrs;
+      Pmlog.Rawl.advance_head_group
+        (List.map
+           (fun (th, records, words, _, _) -> (th.log, records, words))
+           batches);
+      List.iter
+        (fun (th, _, _, _, txids) ->
+          List.iter (fun txid -> Obs.flow pool.obs ~phase:`End ~id:txid) txids;
+          th.draining <- false)
+        batches;
+      true
+
+(* ------------------------------------------------------------------ *)
 (* Group commit                                                        *)
 
 (* Transactions reaching the durability point in the same drain window
@@ -895,7 +1159,7 @@ let append_record tx buf ~len =
     match Pmlog.Rawl.append_bytes tx.th.log buf ~len with
     | Pmlog.Rawl.Appended span -> span
     | Pmlog.Rawl.Full ->
-        if Queue.is_empty tx.th.pending_q then
+        if Queue.is_empty tx.th.pending_q && not tx.th.draining then
           failwith
             (record_capacity_msg tx ~context:"transaction record larger \
                                               than the log" ~len)
@@ -906,7 +1170,8 @@ let append_record tx buf ~len =
           pool.log_full_stalls <- pool.log_full_stalls + 1;
           let env = tx.th.view.Pmem.env in
           let t0 = env.Scm.Env.now () in
-          drain_truncations_blocking tx.th;
+          if pool.cfg.pipeline then pipe_drain_self tx.th
+          else drain_truncations_blocking tx.th;
           let dur = env.Scm.Env.now () - t0 in
           (* let the profiler split the stall out of the log phase *)
           tx.th.prof_stall_ns <- tx.th.prof_stall_ns + dur;
@@ -1043,32 +1308,49 @@ let commit_redo tx =
     Pmem.store th.view th.sorted.(i)
       (Bytes.get_int64_le enc (8 * ((2 * i) + 3)))
   done;
-  (match pool.cfg.truncation with
-  | Sync when pool.cfg.group_commit ->
-      (* defer, then retire a whole batch at once: the data-line flush
-         dedupes lines hot across the batch and the head advances (one
-         fence) once per batch instead of once per commit *)
-      Queue.push
-        { span; addrs = Array.sub th.sorted 0 n; txid = th.cur_txid }
-        th.pending_q;
-      if Queue.length th.pending_q >= max 1 pool.cfg.gc_trunc_batch then
-        drain_truncations_batched th
-  | Sync ->
-      flush_sorted_lines th.view th.sorted n;
-      Pmlog.Rawl.truncate_all th.log;
-      (* synchronous truncation retires the commit's own log record
-         inline: the causal flow ends here, not on a deferred drain *)
-      if th.cur_txid <> 0 then Obs.flow pool.obs ~phase:`End ~id:th.cur_txid
-  | Async ->
-      Queue.push
-        { span; addrs = Array.sub th.sorted 0 n; txid = th.cur_txid }
-        th.pending_q);
+  (if pool.cfg.pipeline then begin
+     (* Pipelined: the record is durable and the new values are in the
+        cache, so hand the expensive tail — data-line flushing and log
+        truncation — to the drainer and release the locks right away.
+        Readers that acquire these lines before the write-back lands
+        observe the committed values through the cache at version
+        [cts]; a crash is covered because recovery replays the still
+        unretired record. *)
+     Queue.push
+       { span; addrs = Array.sub th.sorted 0 n; txid = th.cur_txid }
+       th.pending_q;
+     match pool.drain_wake with Some wake -> wake th.id | None -> ()
+   end
+   else
+     match pool.cfg.truncation with
+     | Sync when pool.cfg.group_commit ->
+         (* defer, then retire a whole batch at once: the data-line
+            flush dedupes lines hot across the batch and the head
+            advances (one fence) once per batch instead of once per
+            commit *)
+         Queue.push
+           { span; addrs = Array.sub th.sorted 0 n; txid = th.cur_txid }
+           th.pending_q;
+         if Queue.length th.pending_q >= max 1 pool.cfg.gc_trunc_batch then
+           drain_truncations_batched th
+     | Sync ->
+         flush_sorted_lines th.view th.sorted n;
+         Pmlog.Rawl.truncate_all th.log;
+         (* synchronous truncation retires the commit's own log record
+            inline: the causal flow ends here, not on a deferred drain *)
+         if th.cur_txid <> 0 then
+           Obs.flow pool.obs ~phase:`End ~id:th.cur_txid
+     | Async ->
+         Queue.push
+           { span; addrs = Array.sub th.sorted 0 n; txid = th.cur_txid }
+           th.pending_q);
   let t3 = env.Scm.Env.now () in
   if pool.txprof != None then prof_phase th Obs.Txprof.ph_write_back;
   release_locks tx ~committed:true ~version:cts;
   (match pmchk th with
   | None -> ()
   | Some chk -> Scm.Pmcheck.commit_end chk ~log:(th_log_base th));
+  if pool.cfg.pipeline then pipe_backpressure th;
   (cts, t1 - t0, t2 - t1, t3 - t2)
 
 let commit_undo tx =
@@ -1254,6 +1536,10 @@ let run th f =
       th.cur_txid <- txid;
       env.Scm.Env.cur_txid <- txid;
       Pmlog.Rawl.set_owner th.log txid;
+      (* Publish the contention-manager priority stamp: assigned once
+         per [run], not per attempt, so a transaction that keeps
+         retrying keeps its (low, old) stamp and ages into priority. *)
+      pool.cm_stamps.(th.id) <- txid;
       (* [prof_stall_ns] accumulates in [append_record] whether or not a
          ledger is installed, so it must start clean unconditionally: a
          stale stall from an unprofiled transaction leaking into the
@@ -1275,6 +1561,7 @@ let run th f =
           th.cur_txid <- 0;
           env.Scm.Env.cur_txid <- 0;
           Pmlog.Rawl.set_owner th.log 0;
+          pool.cm_stamps.(th.id) <- max_int;
           raise Contention
         end;
         th.view.Pmem.env.delay (th.view.Pmem.env.machine.latency.txn_begin_ns);
@@ -1299,13 +1586,27 @@ let run th f =
           (* Randomized backoff before retrying.  The jitter draw is the
              one control-flow-relevant random number in the STM; routing
              it through the schedule (when one is recording) is what
-             makes [sched_explore --replay] bit-exact across aborts. *)
+             makes [sched_explore --replay] bit-exact across aborts —
+             both policies draw from the same 4-way stream, so traces
+             stay comparable across contention managers. *)
           let jitter =
             match pool.backoff_draw with
             | Some draw -> draw 4
             | None -> Random.State.int th.rng 4
           in
-          th.view.Pmem.env.delay (100 * n * (1 + jitter));
+          let backoff =
+            match pool.cfg.cm with
+            | Cm_legacy -> 100 * n * (1 + jitter)
+            | Cm_adaptive ->
+                (* capped exponential, scaled by how contended the line
+                   that killed this attempt has been: hot lines back off
+                   harder and desynchronize, cold conflicts retry fast *)
+                let hits = line_abort_count pool th.last_conflict_addr in
+                let shift = min (n - 1 + min hits 3) 7 in
+                min pool.cfg.cm_backoff_cap_ns (50 * (1 lsl shift) * (1 + jitter))
+          in
+          pool.backoff_ns <- pool.backoff_ns + backoff;
+          th.view.Pmem.env.delay backoff;
           if pool.txprof != None then prof_phase th Obs.Txprof.ph_backoff;
           attempt (n + 1)
         in
@@ -1323,6 +1624,7 @@ let run th f =
               th.cur_txid <- 0;
               env.Scm.Env.cur_txid <- 0;
               Pmlog.Rawl.set_owner th.log 0;
+              pool.cm_stamps.(th.id) <- max_int;
               result
             end
             else finish_abort ()
@@ -1340,6 +1642,7 @@ let run th f =
             th.cur_txid <- 0;
             env.Scm.Env.cur_txid <- 0;
             Pmlog.Rawl.set_owner th.log 0;
+            pool.cm_stamps.(th.id) <- max_int;
             raise e
       in
       attempt 1

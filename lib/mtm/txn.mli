@@ -43,6 +43,22 @@ type truncation = Sync | Async
     with [Async]. *)
 type version_mgmt = Lazy_redo | Eager_undo
 
+(** Conflict-management policy.  [Cm_legacy] (default) aborts on any
+    foreign lock owner and backs off linearly with random jitter —
+    bit-identical to before the knob existed.  [Cm_adaptive] adds
+    timestamp-priority waiting (wait-die: the older transaction polls a
+    bounded [cm_wait_ns] for a younger owner to release and then
+    retries the access; a younger transaction aborts at once, so wait
+    chains run strictly old-to-young and cannot deadlock) and a capped
+    exponential retry backoff scaled by how contended the aborting
+    cache line has been.  Priority stamps are assigned once per {!run}
+    — not per attempt — so a transaction that keeps retrying ages into
+    higher priority (karma), which is what flattens the contended
+    throughput curve.  The backoff jitter still comes from the same
+    4-way draw as the legacy policy, so recorded schedules replay
+    bit-exactly under either manager. *)
+type cm = Cm_legacy | Cm_adaptive
+
 type config = {
   nthreads : int;  (** Thread slots (each gets a persistent log). *)
   log_cap_words : int;  (** Per-thread log buffer capacity. *)
@@ -78,6 +94,28 @@ type config = {
       (** Under [group_commit], synchronous truncations are deferred
           and retired in batches of this size: one data-line flush pass
           (hot lines deduped) and one head advance per batch. *)
+  pipeline : bool;
+      (** Pipelined commit (redo logging only; default false).  The
+          durability point stays log-append + one fence, but the commit
+          then writes the new values into the cache, queues the
+          expensive tail — data-line flushing and log truncation — for
+          the pool drainer, and releases its write locks immediately at
+          the commit timestamp.  Transaction [n+1] runs while
+          transaction [n]'s write-back drains; readers are correct
+          because the committed values are visible through the cache,
+          and a crash is covered because recovery replays the still
+          unretired record.  Wire a daemon via {!set_drain_wake} +
+          {!drain_pipeline}; without one, producers drain their own
+          queue at the window bound (batched inline truncation). *)
+  pipe_window : int;
+      (** Commits in flight awaiting write-back per thread before the
+          producer blocks (the profiler's drain-wait phase). *)
+  cm : cm;  (** Conflict-management policy. *)
+  cm_wait_ns : int;
+      (** [Cm_adaptive]: how long an older transaction polls for a
+          younger lock owner to release before giving up and aborting. *)
+  cm_backoff_cap_ns : int;
+      (** [Cm_adaptive]: ceiling of the exponential retry backoff. *)
 }
 
 val default_config : config
@@ -171,6 +209,29 @@ val drain_truncations_blocking : thread -> unit
 (** Producer-side fallback when the log is full and no daemon keeps up:
     process this thread's own queue synchronously. *)
 
+(** {1 Pipelined commit} *)
+
+val drain_pipeline : ?shard:int * int -> pool -> Region.Pmem.view -> bool
+(** One sweep of the pipelined-commit drainer: pop every bound thread's
+    pending write-backs, charge the work-descriptor reads to [view]'s
+    fiber (the commit handed over the write-set addresses in DRAM, so
+    unlike the legacy truncation daemon nothing is re-read from the
+    log), flush the union of the batch's data lines under one fence,
+    then advance every log's head with one combined fence.  False when
+    no thread had work.  [shard:(k, n)] restricts the sweep to threads
+    with [id mod n = k] — one drainer fiber serializes its producers'
+    flush traffic, so large pools deploy several daemons, each owning a
+    shard.  Made for {!Sim.Service}:
+    [Service.spawn sim ~work:(fun () -> Txn.drain_pipeline pool dview)]
+    — the daemon's traffic overlaps the producers' next transactions. *)
+
+val set_drain_wake : pool -> (int -> unit) option -> unit
+(** Hook the drainer daemons' wake-up ({!Sim.Service.wake}).  Called
+    with the committing thread's id whenever a pipelined commit queues
+    write-back work, so a sharded deployment wakes the daemon owning
+    that thread; [None] (the default) leaves producers draining their
+    own queues at the window bound. *)
+
 (** {1 Statistics and observability} *)
 
 type stats = {
@@ -186,6 +247,21 @@ type stats = {
 
 val stats : pool -> stats
 val reset_stats : pool -> unit
+(** Also clears {!backoff_ns}, {!cm_waits} and the per-line abort
+    attribution. *)
+
+val backoff_ns : pool -> int
+(** Total simulated time spent in retry backoff and contention-manager
+    waits since the last {!reset_stats} — the benchmark's
+    backoff-time breakdown. *)
+
+val cm_waits : pool -> int
+(** Times an older transaction waited on a younger lock owner
+    ([Cm_adaptive] only). *)
+
+val abort_attribution : pool -> (int * int) list
+(** Per-64-byte-line abort counts [(line_addr, aborts)], hottest line
+    first: which addresses the contention manager is fighting over. *)
 
 val obs : pool -> Obs.t
 (** The observability handle of the machine this pool runs on.  Commit

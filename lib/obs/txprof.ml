@@ -11,7 +11,7 @@
    inside the same steady-state allocation budget as the disabled
    one. *)
 
-let nphases = 8
+let nphases = 9
 let ph_exec = 0
 let ph_validate = 1
 let ph_log = 2
@@ -19,7 +19,8 @@ let ph_fence = 3
 let ph_write_back = 4
 let ph_trunc_wait = 5
 let ph_backoff = 6
-let ph_other = 7
+let ph_drain_wait = 7
+let ph_other = 8
 
 let phase_name = function
   | 0 -> "exec"
@@ -29,7 +30,8 @@ let phase_name = function
   | 4 -> "write_back"
   | 5 -> "trunc_wait"
   | 6 -> "backoff"
-  | 7 -> "other"
+  | 7 -> "drain_wait"
+  | 8 -> "other"
   | _ -> "?"
 
 type entry = {

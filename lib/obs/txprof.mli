@@ -4,7 +4,8 @@
     A transaction's lifetime — first attempt begin to commit return,
     aborted attempts included — is partitioned into {!nphases} phases
     (execution, validation, log encode+append, fence, write-back,
-    truncation wait, backoff, other).  The instrumented commit path
+    truncation wait, backoff, drain wait, other).  The instrumented
+    commit path
     accounts every nanosecond to exactly one phase, so an entry's
     phase sum equals its total duration.
 
@@ -30,6 +31,11 @@ val ph_write_back : int
 val ph_trunc_wait : int  (** Blocked on a full log, draining inline. *)
 
 val ph_backoff : int  (** Contention backoff between attempts. *)
+
+val ph_drain_wait : int
+(** Blocked on the pipelined commit's in-flight window: the drain
+    queue is full and the producer polls until the drainer retires a
+    pending write-back. *)
 
 val ph_other : int
 (** Residual commit bookkeeping not in a named phase. *)

@@ -36,6 +36,7 @@ type kind =
   | Uninit_read
   | Redundant_fence
   | Trunc_unfenced
+  | Write_back_lost
 
 let kind_name = function
   | Write_ahead -> "write_ahead"
@@ -43,6 +44,7 @@ let kind_name = function
   | Uninit_read -> "uninit_read"
   | Redundant_fence -> "redundant_fence"
   | Trunc_unfenced -> "trunc_unfenced"
+  | Write_back_lost -> "write_back_lost"
 
 type violation = {
   kind : kind;
@@ -64,6 +66,15 @@ let bit_undef = 0b100
 let bit_logpend = 0b1000
 let bit_covered = 0b1_0000
 let bit_newval = 0b10_0000
+
+(* WBPEND: the word's covering redo record is durable but the new
+   value has not yet been proven to reach the device — the pipelined
+   commit's "durable-in-log, write-back pending" window.  Armed at
+   {!commit_logged}, cleared when a volatile copy of the word reaches
+   the device.  A record truncated while an addr still carries WBPEND
+   with nothing volatile means the write-back never ran: the committed
+   value existed only in the now-erased log. *)
+let bit_wbpend = 0b100_0000
 
 type log_state = {
   lbase : int;
@@ -99,6 +110,7 @@ type t = {
   ctr_uninit : Obs.Metrics.counter;
   ctr_redundant : Obs.Metrics.counter;
   ctr_trunc : Obs.Metrics.counter;
+  ctr_wb_lost : Obs.Metrics.counter;
   ctr_fence_noop : Obs.Metrics.counter;
 }
 
@@ -122,6 +134,7 @@ let create ?(lint_fences = false) ?(max_keep = 256) ~obs ~cp ~nframes () =
     ctr_uninit = c "violation.uninit_read";
     ctr_redundant = c "violation.redundant_fence";
     ctr_trunc = c "violation.trunc_unfenced";
+    ctr_wb_lost = c "violation.write_back_lost";
     ctr_fence_noop = c "fence.ordered_nothing";
   }
 
@@ -131,6 +144,7 @@ let counter_of t = function
   | Uninit_read -> t.ctr_uninit
   | Redundant_fence -> t.ctr_redundant
   | Trunc_unfenced -> t.ctr_trunc
+  | Write_back_lost -> t.ctr_wb_lost
 
 let violate t kind ~addr detail =
   Obs.Metrics.incr (counter_of t kind);
@@ -266,9 +280,13 @@ let[@inline] reach_word t a ~drained =
            "new value of %#x reached the device before its covering log \
             record was fenced"
            a);
-      set t a (s land lnot (where_mask lor bit_logpend lor bit_newval))
+      set t a
+        (s land lnot (where_mask lor bit_logpend lor bit_newval lor bit_wbpend))
     end
-    else if s land where_mask <> 0 then set t a (s land lnot where_mask)
+    else if s land where_mask <> 0 then
+      (* a volatile newer value reached the device: the pending
+         write-back (if any) is hereby proven done *)
+      set t a (s land lnot (where_mask lor bit_wbpend))
 
 let device_reach_word t pa =
   t.work_since_fence <- true;
@@ -325,8 +343,13 @@ let commit_logged t ~log =
         Array.iter
           (fun a ->
             let s = get t a in
+            (* WBPEND arms here: from this point the committed value is
+               durable in the log but its data write-back is still
+               owed.  Only a device reach of a volatile copy (the
+               write-back landing) discharges it. *)
             set t a
-              ((s land lnot (bit_logpend lor bit_newval)) lor bit_covered))
+              ((s land lnot (bit_logpend lor bit_newval))
+              lor bit_covered lor bit_wbpend))
           sess
       end
 
@@ -386,12 +409,29 @@ let retire t sess =
   Array.iter
     (fun a ->
       let s = get t a in
-      if s land where_mask <> 0 && not (covered_later t a) then
-        violate t Trunc_unfenced ~addr:a
+      if s land where_mask <> 0 then begin
+        if not (covered_later t a) then
+          violate t Trunc_unfenced ~addr:a
+            (Printf.sprintf
+               "log record truncated while %#x is still volatile (%s)" a
+               (if s land where_mask = where_wc then "WC-pending"
+                else "dirty in cache"))
+      end
+      else if s land bit_wbpend <> 0 && not (covered_later t a) then begin
+        (* Nothing volatile AND the write-back never landed: the
+           committed value of this word existed only in the record
+           being erased.  A crash after this truncation loses it —
+           the relaxed pipelined ordering is only safe while the
+           record outlives the write-back (or a younger record covers
+           the word).  When a younger record covers the addr the bit is
+           left armed: it answers for the younger session's retire. *)
+        violate t Write_back_lost ~addr:a
           (Printf.sprintf
-             "log record truncated while %#x is still volatile (%s)" a
-             (if s land where_mask = where_wc then "WC-pending"
-              else "dirty in cache")))
+             "log record truncated while the committed value of %#x was \
+              never written back to the device"
+             a);
+        set t a (s land lnot bit_wbpend)
+      end)
     sess
 
 let note_truncate ?(count = 1) t ~log ~all =

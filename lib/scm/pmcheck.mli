@@ -25,6 +25,14 @@ type kind =
   | Trunc_unfenced
       (** log truncation retired a record while the data it covers was
           still volatile (dirty in cache or WC-pending) *)
+  | Write_back_lost
+      (** log truncation retired a record while a word it covers was
+          still in the "durable-in-log, write-back pending" state: the
+          committed value never reached the device (and nothing
+          volatile holds it, and no younger record covers it), so the
+          truncation erased its only copy.  This is the hazard the
+          pipelined commit's deferred write-back opens; the drainer
+          must retire a record only after its write-back landed. *)
 
 type violation = {
   kind : kind;

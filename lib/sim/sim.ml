@@ -533,6 +533,74 @@ module Mutex_r = struct
     Fun.protect ~finally:(fun () -> unlock m) f
 end
 
+(* A background daemon: a process that repeatedly performs units of
+   work and parks itself when none is available, to be re-armed by
+   [wake] from a producer.  This is the substrate for the pipelined
+   commit's write-back drainer: modelled as first-class DES work, its
+   memory traffic is charged to its own fiber, not to the transaction
+   that produced it.
+
+   The lost-wakeup race (producer wakes while the daemon is mid-round,
+   daemon then parks on stale information) is closed by [wakes_pending]:
+   a wake against a running daemon leaves a token the daemon consumes
+   before parking. *)
+module Service = struct
+  type sim = t
+
+  type t = {
+    sim : sim;
+    work : unit -> bool;
+    mutable parked : (unit -> unit) option;
+    mutable wakes_pending : bool;
+    mutable stopping : bool;
+    mutable stopped : bool;
+  }
+
+  let rec loop s =
+    if s.work () then begin
+      (* one unit done; yield so same-time producers interleave *)
+      yield s.sim;
+      loop s
+    end
+    else if s.stopping then s.stopped <- true
+    else if s.wakes_pending then begin
+      s.wakes_pending <- false;
+      loop s
+    end
+    else begin
+      suspend s.sim (fun resume -> s.parked <- Some resume);
+      loop s
+    end
+
+  let spawn sim ~work =
+    let s =
+      {
+        sim;
+        work;
+        parked = None;
+        wakes_pending = false;
+        stopping = false;
+        stopped = false;
+      }
+    in
+    spawn sim (fun () -> loop s);
+    s
+
+  let wake s =
+    match s.parked with
+    | Some resume ->
+        s.parked <- None;
+        s.wakes_pending <- false;
+        resume ()
+    | None -> s.wakes_pending <- true
+
+  let stop s =
+    s.stopping <- true;
+    wake s
+
+  let stopped s = s.stopped
+end
+
 module Cond_r = struct
   type sim = t
 

@@ -175,6 +175,42 @@ module Mutex_r : sig
   val with_lock : t -> (unit -> 'a) -> 'a
 end
 
+(** A background daemon process that repeatedly performs units of work
+    and parks itself when none is available.  Built for the pipelined
+    commit's write-back drainer: the daemon's memory traffic is charged
+    to its own fiber, so deferred work shows up as overlapped DES time
+    rather than on the producing transaction's critical path.
+
+    Protocol: [work ()] performs at most one unit and answers whether
+    it did anything.  While it answers [true] the daemon loops (with a
+    {!yield} between units so same-time producers interleave); on
+    [false] it parks until {!wake}.  A {!wake} against a running daemon
+    leaves a token consumed before the next park, so wake-ups are never
+    lost.  {!stop} drains remaining work ([work] until [false]) and
+    exits the process.
+
+    A parked daemon holds a suspended process: a simulation that ends
+    with the daemon parked raises {!Deadlock}, so harnesses must call
+    {!stop} from inside the simulation (e.g. the last finishing worker
+    stops the service). *)
+module Service : sig
+  type sim := t
+  type t
+
+  val spawn : sim -> work:(unit -> bool) -> t
+  (** Start the daemon at the current simulated time. *)
+
+  val wake : t -> unit
+  (** Re-arm a parked daemon (or leave a token for a running one).
+      Safe to call from any process at any time. *)
+
+  val stop : t -> unit
+  (** Ask the daemon to drain remaining work and exit. *)
+
+  val stopped : t -> bool
+  (** True once the daemon's process has exited. *)
+end
+
 (** Condition variable over {!Mutex_r}, used by group commit. *)
 module Cond_r : sig
   type sim := t

@@ -951,6 +951,104 @@ let test_scalable_commit_recovery () =
         (Region.Pmem.load (Region.Pmem.default_view pmem') data))
 
 (* ------------------------------------------------------------------ *)
+(* Pipelined commit *)
+
+let pipeline_cfg =
+  {
+    small_cfg with
+    ts_lease = 4;
+    lock_stripes = 4;
+    group_commit = true;
+    pipeline = true;
+    cm = Mtm.Txn.Cm_adaptive;
+  }
+
+(* The new window the pipeline opens: locks release at the durability
+   fence, before the data write-back runs.  A reader acquiring the line
+   inside that window must observe the committed value — it is visible
+   through the cache — at the bumped version (the read validates and
+   commits without an abort).  No drainer daemon is installed, so the
+   writer's record provably still awaits write-back when the reader
+   runs. *)
+let test_pipeline_read_before_write_back () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of ~config:pipeline_cfg pmem in
+      let data = data_region pmem 4096 in
+      let pending_at_read = ref (-1) in
+      let got = ref 0L in
+      let writer = ref None in
+      let sim = Sim.create () in
+      Sim.spawn sim (fun () ->
+          let th = Mtm.Txn.thread pool 0 (sim_env sim m) in
+          Mtm.Txn.run th (fun tx -> Mtm.Txn.store tx data 42L);
+          (* committed and durable; write-back queued, not run *)
+          Alcotest.(check int) "write-back deferred past commit" 1
+            (Mtm.Txn.pending_truncations th);
+          writer := Some th);
+      Sim.spawn sim (fun () ->
+          let th = Mtm.Txn.thread pool 1 (sim_env sim m) in
+          (* wait for the commit — the locks are released the moment it
+             returns, its write-back still queued *)
+          while !writer = None do
+            Sim.delay sim 500
+          done;
+          (match !writer with
+          | Some wr -> pending_at_read := Mtm.Txn.pending_truncations wr
+          | None -> ());
+          got := Mtm.Txn.run th (fun tx -> Mtm.Txn.load tx data));
+      Sim.run sim;
+      Alcotest.(check int) "writer's write-back still pending at the read" 1
+        !pending_at_read;
+      Alcotest.(check int64) "reader saw the committed value" 42L !got;
+      Alcotest.(check int) "no aborts: version bumped at lock release" 0
+        (Mtm.Txn.stats pool).aborts)
+
+(* Crash between the durability fence and the deferred write-back: the
+   cached new values die with the crash (dropped dirty lines), but the
+   records are durable in the logs and recovery replays them.  25
+   commits per thread against an 8-deep window leaves each thread's
+   last record genuinely unretired at the end. *)
+let test_pipeline_crash_before_write_back () =
+  with_tmpdir (fun dir ->
+      let m, pmem = stack dir in
+      let pool = pool_of ~config:pipeline_cfg pmem in
+      let data = data_region pmem 4096 in
+      let workers = ref [] in
+      let sim = Sim.create () in
+      for i = 0 to 3 do
+        Sim.spawn sim (fun () ->
+            let th = Mtm.Txn.thread pool i (sim_env sim m) in
+            workers := th :: !workers;
+            for _ = 1 to 25 do
+              Mtm.Txn.run th (fun tx ->
+                  let v = Mtm.Txn.load tx data in
+                  Mtm.Txn.store tx data (Int64.add v 1L))
+            done)
+      done;
+      Sim.run sim;
+      Alcotest.(check int64) "no lost updates" 100L
+        (Region.Pmem.load (Region.Pmem.default_view pmem) data);
+      let pending =
+        List.fold_left
+          (fun acc th -> acc + Mtm.Txn.pending_truncations th)
+          0 !workers
+      in
+      Alcotest.(check bool) "commits durable-in-log, write-back pending" true
+        (pending > 0);
+      (* drop the dirty cache lines: the committed values survive only
+         as redo records in the logs *)
+      Scm.Crash.inject
+        ~policy:{ cache = Scm.Crash.Drop_dirty; wc = Scm.Crash.Wc_apply_all }
+        m;
+      let _, pmem' = reboot m dir in
+      let pool' = pool_of ~config:pipeline_cfg pmem' in
+      Alcotest.(check bool) "unretired records replayed" true
+        (Mtm.Txn.recovered_txns pool' > 0);
+      Alcotest.(check int64) "recovered exactly" 100L
+        (Region.Pmem.load (Region.Pmem.default_view pmem') data))
+
+(* ------------------------------------------------------------------ *)
 (* Abort-path interleavings: the satellite audits of the schedule-
    exploration PR, pinned as deterministic sim tests *)
 
@@ -1177,6 +1275,13 @@ let () =
         [
           Alcotest.test_case "recovery with leases and group commit" `Quick
             test_scalable_commit_recovery;
+        ] );
+      ( "pipelined commit",
+        [
+          Alcotest.test_case "read before write-back sees committed value"
+            `Quick test_pipeline_read_before_write_back;
+          Alcotest.test_case "crash between fence and write-back recovers"
+            `Quick test_pipeline_crash_before_write_back;
         ] );
       ( "abort interleavings",
         [

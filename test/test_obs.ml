@@ -516,6 +516,56 @@ let test_stall_not_leaked_across_install () =
               e.Obs.Txprof.phases.(Obs.Txprof.ph_trunc_wait))
         (Obs.Txprof.top tp))
 
+(* The pipelined commit's ninth phase: time blocked in the in-flight
+   window (backpressure waiting for — or inline running — the deferred
+   write-back drain) is charged to [ph_drain_wait], and the mark chain
+   still partitions the commit exactly: phase sum == total for every
+   entry.  A 1-deep window with no drainer daemon forces every commit
+   after the first through the backpressure path. *)
+let test_drain_wait_phase () =
+  with_tmpdir (fun dir ->
+      let m = Scm.Env.make_machine ~seed:7 ~nframes:4096 () in
+      let backing = Region.Backing_store.open_dir dir in
+      let pmem = Region.Pmem.open_instance m backing in
+      let config =
+        {
+          Mtm.Txn.default_config with
+          nthreads = 1;
+          log_cap_words = 4096;
+          pipeline = true;
+          pipe_window = 1;
+        }
+      in
+      let pool = Mtm.Txn.create_pool ~config pmem None in
+      let v = Region.Pmem.default_view pmem in
+      let base = Region.Pmem.pmap v 4096 in
+      ignore (Region.Pmem.load v base);
+      let tp = Obs.Txprof.create (Mtm.Txn.obs pool).Obs.metrics in
+      Mtm.Txn.set_txprof pool (Some tp);
+      let th = Mtm.Txn.thread pool 0 v.env in
+      let n = 10 in
+      for i = 1 to n do
+        Mtm.Txn.run th (fun tx ->
+            for w = 0 to 3 do
+              Mtm.Txn.store tx (base + (8 * w)) (Int64.of_int i)
+            done)
+      done;
+      Alcotest.(check int) "every commit recorded" n (Obs.Txprof.count tp);
+      let drain_wait = ref 0 in
+      List.iter
+        (fun e ->
+          drain_wait := !drain_wait + e.Obs.Txprof.phases.(Obs.Txprof.ph_drain_wait);
+          if Obs.Txprof.phase_sum e <> e.Obs.Txprof.total_ns then
+            Alcotest.failf
+              "txid %d: phase sum %d <> total %d (drain_wait %d \
+               unattributed)"
+              e.Obs.Txprof.txid (Obs.Txprof.phase_sum e)
+              e.Obs.Txprof.total_ns
+              e.Obs.Txprof.phases.(Obs.Txprof.ph_drain_wait))
+        (Obs.Txprof.top tp);
+      Alcotest.(check bool) "backpressure time lands in drain_wait" true
+        (!drain_wait > 0))
+
 (* The disabled path must stay allocation-free: with no trace and no
    ledger installed every hook is one branch, and a commit's footprint
    stays within the perf baseline's minor-words budget. *)
@@ -575,6 +625,8 @@ let () =
             test_phase_sum_invariant;
           Alcotest.test_case "stall not leaked across install" `Quick
             test_stall_not_leaked_across_install;
+          Alcotest.test_case "drain wait phase partitions exactly" `Quick
+            test_drain_wait_phase;
         ] );
       ( "integration",
         [

@@ -192,6 +192,38 @@ let test_fuzz_scalable_commit () =
            [ Sim.Schedule.Fifo; Sim.Schedule.Seeded_shuffle;
              Sim.Schedule.Priority ]))
 
+let test_fuzz_pipelined_commit () =
+  (* The pipelined commit on top of the full scalable stack, sanitized:
+     locks release at the durability fence, so the fuzz drives readers
+     into the release-to-write-back window while the drainer daemon's
+     sweeps interleave with producers — plus the wait-die contention
+     manager's wait/abort decisions under adversarial ties. *)
+  with_tmpdir (fun dir ->
+      let base =
+        {
+          (H.default_cfg ~dir) with
+          H.zero_lat = true;
+          nslots = 8;
+          lease = 3;
+          stripes = 4;
+          group_commit = true;
+          pipeline = true;
+          cm_adaptive = true;
+          pmcheck = true;
+        }
+      in
+      fuzz "pipeline"
+        (List.concat_map
+           (fun policy ->
+             List.map
+               (fun seed ->
+                 ( { base with H.policy; seed },
+                   Printf.sprintf "%s/%d" (Sim.Schedule.policy_name policy)
+                     seed ))
+               [ 0; 1; 2 ])
+           [ Sim.Schedule.Fifo; Sim.Schedule.Seeded_shuffle;
+             Sim.Schedule.Priority ]))
+
 let test_fuzz_undo_mode () =
   with_tmpdir (fun dir ->
       let base =
@@ -227,6 +259,8 @@ let () =
             test_fuzz_zero_latency;
           Alcotest.test_case "scalable commit, sanitized" `Slow
             test_fuzz_scalable_commit;
+          Alcotest.test_case "pipelined commit, sanitized" `Slow
+            test_fuzz_pipelined_commit;
           Alcotest.test_case "eager undo" `Slow test_fuzz_undo_mode;
         ] );
     ]
