@@ -97,6 +97,48 @@ let run_updates inst ~seed ~txns =
         Mtm.Txn.store tx cslot (Int64.of_int (t + 1)))
   done
 
+(* The serving-mode workload (--serving): each committed update is
+   preceded by two rejected requests — one shed by the admission policy
+   before any transaction exists, one admitted but cancelled mid-flight
+   after staging mangled stores to the very slots the committed stream
+   owns.  The crash sweep then covers every persistence op across those
+   rejections, and [verify]'s replay-of-committed-count invariant is
+   exactly the claim under test: a shed or cancelled request leaves
+   zero persistent side effects, at every crash point. *)
+let run_serving_updates inst ~seed ~txns =
+  let data = ensure_data inst in
+  let cslot = Mnemosyne.pstatic inst "stress.count" 8 in
+  let count =
+    Mnemosyne.atomically inst (fun tx -> Int64.to_int (Mtm.Txn.load tx cslot))
+  in
+  let adm =
+    Serve.Admission.make
+      { Serve.Admission.queue_cap = 4; log_high_pct = 95; boost_pct = 0 }
+  in
+  for t = count to count + txns - 1 do
+    (* a request the queue cap rejects: never starts a transaction *)
+    (match Serve.Admission.admit_enqueue adm ~queue_len:(5 + (t mod 3)) with
+    | Error _ -> ()
+    | Ok () -> failwith "crash_explore: forced queue rejection admitted");
+    (* an admitted request rejected mid-flight: its staged stores must
+       all be retracted, or the replay check below catches the leak *)
+    (match
+       Mnemosyne.atomically inst (fun tx ->
+           List.iter
+             (fun (s, v) ->
+               Mtm.Txn.store tx (data + (8 * s)) (Int64.lognot v))
+             (Workload.Stress_model.txn_updates ~seed:(seed + 7919) ~t ());
+           Mtm.Txn.cancel tx)
+     with
+    | () -> ()
+    | exception Mtm.Txn.Cancelled -> ());
+    Mnemosyne.atomically inst (fun tx ->
+        List.iter
+          (fun (s, v) -> Mtm.Txn.store tx (data + (8 * s)) v)
+          (Workload.Stress_model.txn_updates ~seed ~t ());
+        Mtm.Txn.store tx cslot (Int64.of_int (t + 1)))
+  done
+
 (* The section-6.2 invariant: memory must equal the deterministic
    replay of exactly the committed-transaction count. *)
 let verify inst ~seed =
@@ -146,6 +188,7 @@ type cfg = {
   verbose : bool;
   fsck : bool;  (* pmfsck every post-recovery image *)
   pmcheck : bool;  (* durability sanitizer under every phase *)
+  serving : bool;  (* serving workload: admission-shed + cancelled txns *)
 }
 
 let setup_dir cfg = Filename.concat cfg.base "setup"
@@ -178,7 +221,9 @@ let run_phase cfg ~dev ~dir ~seed ~crash_at ~updates =
         ~machine ~dir ()
     in
     let open_ops = Cp.count cp in
-    if updates then run_updates inst ~seed:cfg.seed ~txns:cfg.txns;
+    (if updates then
+       if cfg.serving then run_serving_updates inst ~seed:cfg.seed ~txns:cfg.txns
+       else run_updates inst ~seed:cfg.seed ~txns:cfg.txns);
     (inst, open_ops)
   with
   | inst, open_ops -> (machine, obs, chk, Done (inst, open_ops, Cp.count cp))
@@ -292,9 +337,10 @@ let fresh_point_state cfg ~work ~mark0 =
 type failure = { op : int; second : int option; msg : string }
 
 let replay_hint cfg f =
-  Printf.sprintf "crash_explore --seed %d --txns %d%s --at %d%s --dir %s"
+  Printf.sprintf "crash_explore --seed %d --txns %d%s%s --at %d%s --dir %s"
     cfg.seed cfg.txns
     (if cfg.fresh then " --fresh" else "")
+    (if cfg.serving then " --serving" else "")
     f.op
     (match f.second with Some j -> Printf.sprintf " --second-at %d" j | None -> "")
     (Filename.quote cfg.base)
@@ -543,16 +589,39 @@ let write_report cfg ~path ~points ~failures =
       output_string oc "]}\n")
 
 let run txns seed dir from_ to_ stride max_points at second_at second fresh
-    count_only verbose fsck pmcheck report =
+    serving count_only verbose fsck pmcheck report =
   let geometry =
     { Mnemosyne.scm_frames = 2048; heap_superblocks = 64;
       heap_large_bytes = 256 * 1024 }
   in
+  (* Serving mode runs under eager undo: with lazy redo a rejected
+     transaction dies before its only log append, so rejections would
+     add zero persistence ops and the sweep could never crash inside
+     one.  Eager undo gives every staged store a persistent footprint
+     (the in-place write and its undo record) that the cancel must
+     retract — the non-trivial half of the zero-side-effect claim. *)
   let mtm =
-    { Mtm.Txn.default_config with nthreads = 1; log_cap_words = 8192 }
+    {
+      Mtm.Txn.default_config with
+      nthreads = 1;
+      log_cap_words = 8192;
+      version_mgmt =
+        (if serving then Mtm.Txn.Eager_undo else Mtm.Txn.Lazy_redo);
+    }
   in
   let cfg =
-    { seed; txns; base = dir; geometry; mtm; fresh; verbose; fsck; pmcheck }
+    {
+      seed;
+      txns;
+      base = dir;
+      geometry;
+      mtm;
+      fresh;
+      verbose;
+      fsck;
+      pmcheck;
+      serving;
+    }
   in
   ensure_dir cfg.base;
   let work =
@@ -681,6 +750,17 @@ let fresh =
            table, logs, heap) is part of the crash surface.  Much larger \
            op counts; combine with --stride/--max-points.")
 
+let serving =
+  Arg.(
+    value & flag
+    & info [ "serving" ]
+        ~doc:
+          "Explore a serving workload with forced rejections: each \
+           committed update is preceded by a request shed by the \
+           admission policy and by an admitted transaction cancelled \
+           mid-flight.  The invariant then proves rejected requests \
+           leave zero persistent side effects at every crash point.")
+
 let count_only =
   Arg.(
     value & flag
@@ -719,7 +799,7 @@ let cmd =
           section 6.2, exhaustively)")
     Term.(
       const run $ txns $ seed $ dir $ from_ $ to_ $ stride $ max_points $ at
-      $ second_at $ second $ fresh $ count_only $ verbose $ fsck $ pmcheck
-      $ report)
+      $ second_at $ second $ fresh $ serving $ count_only $ verbose $ fsck
+      $ pmcheck $ report)
 
 let () = exit (Cmd.eval' cmd)

@@ -100,6 +100,30 @@ let run_stats dir json =
     let region_bytes = List.fold_left (fun acc (_, len) -> acc + len) 0 regions in
     let occ = Pmheap.Heap.occupancy (Mnemosyne.heap inst) in
     let logs = Mtm.Txn.log_usage (Mnemosyne.pool inst) in
+    (* Serving tenants: any pstatic root named "serve.tenant.NN" (the
+       layout contract in Serve.tenant_root) is a per-tenant B+ tree;
+       attach each read-only and count keys — per-tenant region
+       occupancy without the serving front-end running. *)
+    let tenants =
+      let acc = ref [] in
+      Region.Pstatic.iter (Mnemosyne.view inst) (fun name ~addr ~len:_ ->
+          if String.starts_with ~prefix:Serve.tenant_root_prefix name then
+            acc := (name, addr) :: !acc);
+      List.sort compare !acc
+    in
+    let tenant_occ =
+      List.map
+        (fun (name, addr) ->
+          let keys =
+            Mnemosyne.atomically inst (fun tx ->
+                let root = Int64.to_int (Mtm.Txn.load tx addr) in
+                if root = 0 then 0
+                else
+                  Pstruct.Bp_tree.length tx (Pstruct.Bp_tree.attach tx ~root))
+          in
+          (name, addr, keys))
+        tenants
+    in
     if json then begin
       let buf = Buffer.create 2048 in
       Buffer.add_string buf "{\n";
@@ -122,6 +146,14 @@ let run_stats dir json =
             "{\"slot\": %d, \"base\": %d, \"cap_words\": %d, \"used\": %d}"
             u.Mtm.Txn.slot u.Mtm.Txn.base u.Mtm.Txn.cap_words u.Mtm.Txn.used)
         logs;
+      Buffer.add_string buf "],\n";
+      Buffer.add_string buf "  \"tenants\": [";
+      List.iteri
+        (fun i (name, addr, keys) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Printf.bprintf buf "{\"root\": \"%s\", \"addr\": %d, \"keys\": %d}"
+            name addr keys)
+        tenant_occ;
       Buffer.add_string buf "],\n";
       Printf.bprintf buf "  \"metrics\": %s\n}"
         (String.trim (Obs.Metrics.to_json (Mnemosyne.obs inst).Obs.metrics));
@@ -152,6 +184,15 @@ let run_stats dir json =
             (100.0 *. float_of_int u.Mtm.Txn.used
             /. float_of_int u.Mtm.Txn.cap_words))
         logs;
+      if tenant_occ <> [] then begin
+        Printf.printf "serving tenants (pstatic %s*):\n"
+          Serve.tenant_root_prefix;
+        List.iter
+          (fun (name, addr, keys) ->
+            Printf.printf "  %-18s root slot %#014x  %6d keys\n" name addr
+              keys)
+          tenant_occ
+      end;
       Printf.printf "\ncounters since open (recovery path):\n";
       print_string (Obs.Metrics.dump (Mnemosyne.obs inst).Obs.metrics)
     end;

@@ -26,7 +26,7 @@
      sched_explore [--seeds N] [--seed0 K] [--policy P] [--threads T]
                    [--txns N] [--slots S] [--undo] [--trace]
                    [--lease N] [--stripes N] [--group-commit]
-                   [--pipeline] [--cm-adaptive]
+                   [--pipeline] [--cm-adaptive] [--admission]
                    [--record FILE | --replay FILE] [--dir D] [-v]
 *)
 
@@ -164,7 +164,8 @@ let run_sweep ~cfg0 ~policies ~seeds ~seed0 ~verbose =
 (* Command line                                                        *)
 
 let run seeds seed0 policy threads txns slots undo zero_lat lease stripes
-    group_commit pipeline cm_adaptive trace pmcheck record replay dir verbose =
+    group_commit pipeline cm_adaptive admission trace pmcheck record replay
+    dir verbose =
   let cfg0 =
     {
       (H.default_cfg ~dir) with
@@ -178,6 +179,7 @@ let run seeds seed0 policy threads txns slots undo zero_lat lease stripes
       group_commit;
       pipeline;
       cm_adaptive;
+      admission;
       trace;
       pmcheck;
       seed = seed0;
@@ -282,6 +284,16 @@ let cm_adaptive =
           "Adaptive contention manager (Txn.config.cm = Cm_adaptive): \
            wait-die timestamp priority plus capped exponential backoff.")
 
+let admission =
+  Arg.(
+    value & flag
+    & info [ "admission" ]
+        ~doc:
+          "Route transactions through a Serve.Admission policy: a \
+           deterministic slice is shed before starting, another is \
+           cancelled mid-flight.  The serializability check then proves \
+           rejected requests leave zero persistent side effects.")
+
 let trace =
   Arg.(
     value & flag
@@ -328,6 +340,6 @@ let cmd =
     Term.(
       const run $ seeds $ seed0 $ policy $ threads $ txns $ slots $ undo
       $ zero_lat $ lease $ stripes $ group_commit $ pipeline $ cm_adaptive
-      $ trace $ pmcheck $ record $ replay $ dir $ verbose)
+      $ admission $ trace $ pmcheck $ record $ replay $ dir $ verbose)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,8 +13,8 @@ type worker = {
 let create_msync ?sim ?(request_ns = 16000) disk =
   { backend = Msync (Baseline.Msync_store.create ?sim disk); request_ns }
 
-let create_mnemosyne ?(request_ns = 16000) inst =
-  let slot = Mnemosyne.pstatic inst "tc.tree" 8 in
+let create_mnemosyne ?(request_ns = 16000) ?(root = "tc.tree") inst =
+  let slot = Mnemosyne.pstatic inst root 8 in
   if Region.Pmem.load (Mnemosyne.view inst) slot = 0L then
     ignore
       (Mnemosyne.atomically inst (fun tx -> Pstruct.Bp_tree.create tx ~slot));
@@ -25,6 +25,16 @@ let worker t i env =
   | Msync _ -> { store = t; env; mtm_thread = None }
   | Mnemo { inst; _ } ->
       { store = t; env; mtm_thread = Some (Mnemosyne.thread inst i env) }
+
+(* A multi-tenant front-end serves several stores (one persistent root
+   per tenant) from one worker thread; binding a fresh [Mnemosyne.thread]
+   per store would register one log-owning thread slot per (worker,
+   tenant) pair in the pool, so instead the caller binds the slot once
+   and shares it across its tenants' stores. *)
+let worker_of_thread t th env =
+  match t.backend with
+  | Msync _ -> invalid_arg "Tc_store.worker_of_thread: msync backend"
+  | Mnemo _ -> { store = t; env; mtm_thread = Some th }
 
 let key_bytes k = Bytes.of_string (Printf.sprintf "%016Lx" k)
 

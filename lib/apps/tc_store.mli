@@ -18,10 +18,18 @@ type worker
 
 val create_msync : ?sim:Sim.t -> ?request_ns:int -> Baseline.Pcm_disk.t -> t
 
-val create_mnemosyne : ?request_ns:int -> Mnemosyne.t -> t
-(** Tree rooted at the [pstatic] "tc.tree". *)
+val create_mnemosyne : ?request_ns:int -> ?root:string -> Mnemosyne.t -> t
+(** Tree rooted at the [pstatic] named [root] (default "tc.tree").
+    A multi-tenant deployment opens one store per tenant, each under
+    its own root name — per-tenant persistent state that tools can
+    find by name offline ([regionctl stats]). *)
 
 val worker : t -> int -> Scm.Env.t -> worker
+
+val worker_of_thread : t -> Mtm.Txn.thread -> Scm.Env.t -> worker
+(** A worker over an already-bound transaction thread, so one thread
+    slot (and its log) serves several stores — the shape of a
+    multi-tenant worker.  Mnemosyne backend only. *)
 
 val put : worker -> int64 -> Bytes.t -> unit
 val get : worker -> int64 -> Bytes.t option

@@ -13,6 +13,7 @@ type cfg = {
   group_commit : bool;  (* share the durability fence across commits *)
   pipeline : bool;  (* pipelined commit, with a Sim.Service drainer *)
   cm_adaptive : bool;  (* adaptive contention manager (wait-die) *)
+  admission : bool;  (* serving-style admission: shed + cancel some txns *)
   trace : bool;
   pmcheck : bool;  (* run under the durability sanitizer *)
   dir : string;
@@ -32,6 +33,7 @@ let default_cfg ~dir =
     group_commit = false;
     pipeline = false;
     cm_adaptive = false;
+    admission = false;
     trace = false;
     pmcheck = false;
     dir;
@@ -176,6 +178,20 @@ let run ?schedule cfg =
     service := Some svc
   end;
   let running = ref cfg.threads in
+  (* Serving-style admission over the fuzz workload: one policy shared
+     by the workers, with synthetic queue depths forcing a deterministic
+     mix of (a) requests shed before any transaction exists, (b)
+     admitted requests cancelled mid-flight after staging their writes,
+     and (c) requests that commit normally.  The serializability check
+     against final memory is what proves (a) and (b) leave zero
+     persistent side effects under every explored interleaving. *)
+  let adm =
+    if cfg.admission then
+      Some
+        (Serve.Admission.make
+           { Serve.Admission.queue_cap = 4; log_high_pct = 95; boost_pct = 0 })
+    else None
+  in
   for i = 0 to cfg.threads - 1 do
     Sim.spawn sim (fun () ->
         let env =
@@ -189,24 +205,49 @@ let run ?schedule cfg =
             Workload.Stress_model.txn_rw ~nslots:cfg.nslots ~seed:cfg.seed
               ~thread:i ~t ()
           in
-          match
-            Mtm.Txn.run th (fun tx ->
-                (* fold the reads into the written values: a stale read
-                   becomes divergent final memory, not just a history
-                   footnote *)
-                let acc =
-                  List.fold_left
-                    (fun acc s ->
-                      Int64.logxor acc (Mtm.Txn.load tx (data + (8 * s))))
-                    0L reads
-                in
-                List.iter
-                  (fun (s, v) ->
-                    Mtm.Txn.store tx (data + (8 * s)) (Int64.logxor v acc))
-                  writes)
-          with
-          | () -> ()
-          | exception Mtm.Txn.Contention -> incr contention
+          let body ~cancel tx =
+            (* fold the reads into the written values: a stale read
+               becomes divergent final memory, not just a history
+               footnote *)
+            let acc =
+              List.fold_left
+                (fun acc s ->
+                  Int64.logxor acc (Mtm.Txn.load tx (data + (8 * s))))
+                0L reads
+            in
+            List.iter
+              (fun (s, v) ->
+                let v = if cancel then Int64.lognot v else v in
+                Mtm.Txn.store tx (data + (8 * s)) (Int64.logxor v acc))
+              writes;
+            (* a mid-flight rejection: the stores above are staged (and
+               under eager undo already in memory) — cancelling must
+               retract every one of them *)
+            if cancel then Mtm.Txn.cancel tx
+          in
+          let decision =
+            match adm with
+            | None -> `Admit
+            | Some adm -> (
+                let synth_queue = ((3 * i) + (7 * t)) mod 8 in
+                match
+                  Serve.Admission.admit_enqueue adm ~queue_len:synth_queue
+                with
+                | Error _ -> `Shed
+                | Ok () -> (
+                    let used, cap = Mtm.Txn.log_occupancy th in
+                    match Serve.Admission.admit_dispatch adm ~used ~cap with
+                    | Error _ -> `Shed
+                    | Ok () ->
+                        if ((5 * i) + t) mod 6 = 1 then `Cancel else `Admit))
+          in
+          match decision with
+          | `Shed -> ()
+          | (`Admit | `Cancel) as d -> (
+              match Mtm.Txn.run th (body ~cancel:(d = `Cancel)) with
+              | () -> ()
+              | exception Mtm.Txn.Cancelled -> ()
+              | exception Mtm.Txn.Contention -> incr contention)
         done;
         decr running;
         if !running = 0 then
@@ -260,6 +301,7 @@ let save_schedule outcome cfg path =
   Sim.Schedule.set_meta s "group_commit" (if cfg.group_commit then "1" else "0");
   Sim.Schedule.set_meta s "pipeline" (if cfg.pipeline then "1" else "0");
   Sim.Schedule.set_meta s "cm" (if cfg.cm_adaptive then "adaptive" else "legacy");
+  Sim.Schedule.set_meta s "admission" (if cfg.admission then "1" else "0");
   Sim.Schedule.set_meta s "pmcheck" (if cfg.pmcheck then "1" else "0");
   Sim.Schedule.save s path
 
@@ -284,5 +326,6 @@ let cfg_of_schedule ~dir sched =
     group_commit = Sim.Schedule.meta sched "group_commit" = Some "1";
     pipeline = Sim.Schedule.meta sched "pipeline" = Some "1";
     cm_adaptive = Sim.Schedule.meta sched "cm" = Some "adaptive";
+    admission = Sim.Schedule.meta sched "admission" = Some "1";
     pmcheck = Sim.Schedule.meta sched "pmcheck" = Some "1";
   }

@@ -37,6 +37,14 @@ type cfg = {
   cm_adaptive : bool;
       (** Run under {!Mtm.Txn.Cm_adaptive} instead of the legacy
           contention manager. *)
+  admission : bool;
+      (** Route every transaction through a {!Serve.Admission} policy
+          with synthetic queue depths: a deterministic mix of requests
+          is shed before any transaction exists, another slice is
+          cancelled mid-flight after staging (distinctively mangled)
+          writes, and the rest commit.  The serializability check plus
+          the sanitizer then prove a rejected request leaves zero
+          persistent side effects under every explored interleaving. *)
   trace : bool;  (** Record an observability trace during the run. *)
   pmcheck : bool;
       (** Install the {!Scm.Pmcheck} durability sanitizer before the

@@ -855,6 +855,13 @@ let flush_sorted_lines view (addrs : int array) n =
 
 let pending_truncations th = Queue.length th.pending_q
 
+(* Volatile occupancy probe for admission control: how full this
+   thread's RAWL is right now.  Reads only the DRAM-side cursors, so an
+   admission gate can consult it per request without charging SCM
+   traffic or taking a yield point. *)
+let log_occupancy th =
+  (Pmlog.Rawl.used_words th.log, Pmlog.Rawl.capacity th.log)
+
 (* The log manager "consumes the log and forces values out to memory":
    it re-reads the record from SCM (the streamed log words were never
    cached) to learn which addresses to flush.  That read traffic is the
@@ -1170,8 +1177,35 @@ let append_record tx buf ~len =
           pool.log_full_stalls <- pool.log_full_stalls + 1;
           let env = tx.th.view.Pmem.env in
           let t0 = env.Scm.Env.now () in
-          if pool.cfg.pipeline then pipe_drain_self tx.th
-          else drain_truncations_blocking tx.th;
+          (if pool.cfg.pipeline then begin
+             match pool.drain_wake with
+             | None -> pipe_drain_self tx.th
+             | Some wake ->
+                 (* The log can only be full because commits are parked
+                    in [pending_q] (checked above) — work that belongs
+                    to the shard's drainer daemon.  Historically this
+                    path drained inline without waking it, so a stalled
+                    producer waited on a *parked* drainer forever while
+                    paying the figure-6 inline-drain cost itself.  Wake
+                    the owner and wait for it to retire the queue and
+                    advance the head (it clears [draining] only after
+                    the advance); if it is starved or gone, fall back
+                    to the inline drain so the producer never wedges. *)
+                 wake tx.th.id;
+                 let polls = ref 0 in
+                 while
+                   ((not (Queue.is_empty tx.th.pending_q))
+                   || tx.th.draining)
+                   && !polls < 4096
+                 do
+                   env.Scm.Env.delay drain_poll_ns;
+                   incr polls;
+                   if !polls land 63 = 0 then wake tx.th.id
+                 done;
+                 if (not (Queue.is_empty tx.th.pending_q)) || tx.th.draining
+                 then pipe_drain_self tx.th
+           end
+           else drain_truncations_blocking tx.th);
           let dur = env.Scm.Env.now () - t0 in
           (* let the profiler split the stall out of the log phase *)
           tx.th.prof_stall_ns <- tx.th.prof_stall_ns + dur;

@@ -194,6 +194,13 @@ val free_addr : t -> int -> unit
 
 val pending_truncations : thread -> int
 
+val log_occupancy : thread -> int * int
+(** [(used_words, capacity_words)] of this thread's RAWL right now —
+    the volatile cursors only, no SCM traffic and no yield point.  An
+    admission controller probes this before dispatching a request so it
+    can shed load {e before} a producer wedges in the log-full stall
+    path (DESIGN.md section 17). *)
+
 val process_truncations : thread -> Region.Pmem.view -> int
 (** Daemon body: flush the data of committed transactions queued on
     this thread's log and advance the log head past them.  Costs are

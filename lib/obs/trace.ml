@@ -18,6 +18,7 @@ type kind =
   | Sched_decision
   | Pmcheck_violation
   | Txn_flow
+  | Req_shed
   | Phase of string
 
 let kind_name = function
@@ -40,6 +41,7 @@ let kind_name = function
   | Sched_decision -> "Sched_decision"
   | Pmcheck_violation -> "Pmcheck_violation"
   | Txn_flow -> "Txn_flow"
+  | Req_shed -> "Req_shed"
   | Phase s -> s
 
 (* Stable small-integer codes for the allocation-free flight recorder,
@@ -66,6 +68,8 @@ let kind_code = function
   | Pmcheck_violation -> 17
   | Txn_flow -> 18
   | Phase _ -> 19
+  (* 20..22 are reserved by Obs for flight-ring flow markers *)
+  | Req_shed -> 23
 
 (* 20..22 are reserved by Obs for flow start/step/end pushed straight
    into the flight ring. *)
@@ -93,6 +97,7 @@ let code_name = function
   | 20 -> "Flow_start"
   | 21 -> "Flow_step"
   | 22 -> "Flow_end"
+  | 23 -> "Req_shed"
   | _ -> "?"
 
 let arg_label = function
@@ -107,6 +112,7 @@ let arg_label = function
   | Sched_decision -> "key"
   | Pmcheck_violation -> "addr"
   | Txn_flow -> "txid"
+  | Req_shed -> "tenant"
   | Phase _ -> "value"
 
 (* [flow] distinguishes the Chrome flow-event phases that stitch a

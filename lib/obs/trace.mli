@@ -39,6 +39,9 @@ type kind =
       (** A causal flow stamp: the argument is the owning transaction
           id, linking a transaction's log append to the deferred work
           (truncation, write-back, drain) it caused. *)
+  | Req_shed
+      (** A serving request shed by admission control; the argument is
+          the tenant it belonged to (see [lib/serve]). *)
   | Phase of string  (** A named span, for ad-hoc instrumentation. *)
 
 val kind_name : kind -> string

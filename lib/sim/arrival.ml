@@ -1,0 +1,73 @@
+(* Open-loop arrival generators: inter-arrival gaps drawn from a seeded
+   process, independent of service completions.  See arrival.mli. *)
+
+type mmpp = {
+  on_rate_per_s : float;
+  off_rate_per_s : float;
+  mean_on_ns : float;
+  mean_off_ns : float;
+}
+
+type kind = Poisson of float | Mmpp of mmpp
+
+type t = {
+  kind : kind;
+  rng : Random.State.t;
+  mutable on : bool;  (* MMPP modulating state *)
+  mutable sojourn_ns : float;  (* time left in the current state *)
+}
+
+(* Inverse-CDF exponential draw.  [Random.State.float rng 1.0] is in
+   [0, 1), so [1 - u] is in (0, 1] and the log is finite. *)
+let exp_draw rng mean = -.mean *. log (1.0 -. Random.State.float rng 1.0)
+
+let make ~seed kind =
+  (match kind with
+  | Poisson rate ->
+      if rate <= 0.0 then invalid_arg "Arrival.make: Poisson rate must be > 0"
+  | Mmpp m ->
+      if m.on_rate_per_s < 0.0 || m.off_rate_per_s < 0.0 then
+        invalid_arg "Arrival.make: MMPP rates must be >= 0";
+      if m.on_rate_per_s <= 0.0 && m.off_rate_per_s <= 0.0 then
+        invalid_arg "Arrival.make: MMPP needs a positive rate in some state";
+      if m.mean_on_ns <= 0.0 || m.mean_off_ns <= 0.0 then
+        invalid_arg "Arrival.make: MMPP sojourn means must be > 0");
+  let rng = Random.State.make [| seed; 0xa881; 0x0a11 |] in
+  let t = { kind; rng; on = true; sojourn_ns = 0.0 } in
+  (match kind with
+  | Poisson _ -> ()
+  | Mmpp m -> t.sojourn_ns <- exp_draw rng m.mean_on_ns);
+  t
+
+let gap_of_rate rng rate_per_s =
+  if rate_per_s <= 0.0 then infinity else exp_draw rng (1e9 /. rate_per_s)
+
+let next_gap_ns t =
+  let gap =
+    match t.kind with
+    | Poisson rate -> gap_of_rate t.rng rate
+    | Mmpp m ->
+        (* Walk the modulating chain: draw a candidate gap at the
+           current state's rate; if it fits in the remaining sojourn the
+           arrival lands in this state, otherwise consume the sojourn,
+           flip the state and keep drawing.  A zero-rate state draws an
+           infinite candidate and simply passes its whole sojourn by. *)
+        let acc = ref 0.0 in
+        let result = ref None in
+        while !result = None do
+          let rate = if t.on then m.on_rate_per_s else m.off_rate_per_s in
+          let g = gap_of_rate t.rng rate in
+          if g <= t.sojourn_ns then begin
+            t.sojourn_ns <- t.sojourn_ns -. g;
+            result := Some (!acc +. g)
+          end
+          else begin
+            acc := !acc +. t.sojourn_ns;
+            t.on <- not t.on;
+            t.sojourn_ns <-
+              exp_draw t.rng (if t.on then m.mean_on_ns else m.mean_off_ns)
+          end
+        done;
+        Option.get !result
+  in
+  max 1 (int_of_float gap)

@@ -1,0 +1,45 @@
+(** Open-loop arrival processes for serving benchmarks.
+
+    A generator produces inter-arrival gaps in simulated nanoseconds;
+    the caller owns the simulator process that sleeps each gap and
+    enqueues a request.  {e Open-loop} means the gaps are drawn from
+    the process alone — arrivals never wait for service completions, so
+    when offered load exceeds capacity the backlog (and therefore tail
+    latency) grows without bound unless something sheds load.  This is
+    the load model under which an unbounded log-full stall becomes a
+    p999 catastrophe rather than a throughput footnote (contrast the
+    closed-loop benchmarks, where each simulated user politely blocks
+    on its own previous request).
+
+    Draws come from a private [Random.State] seeded at {!make}, so a
+    generator is deterministic given its seed and independent of every
+    other randomness source in the run. *)
+
+type mmpp = {
+  on_rate_per_s : float;  (** Arrival rate in the bursty state. *)
+  off_rate_per_s : float;  (** Arrival rate in the quiet state (may be 0). *)
+  mean_on_ns : float;  (** Mean sojourn in the bursty state. *)
+  mean_off_ns : float;  (** Mean sojourn in the quiet state. *)
+}
+
+type kind =
+  | Poisson of float
+      (** Stationary Poisson arrivals at the given rate per simulated
+          second: exponential inter-arrival gaps. *)
+  | Mmpp of mmpp
+      (** Two-state Markov-modulated Poisson process: Poisson arrivals
+          whose rate switches between a bursty and a quiet state, each
+          held for an exponential sojourn.  The standard bursty open
+          traffic model — its ON periods overload a server provisioned
+          for the mean rate. *)
+
+type t
+
+val make : seed:int -> kind -> t
+(** Raises [Invalid_argument] on non-positive rates (for MMPP: when
+    neither state has a positive rate, or a sojourn mean is not
+    positive). *)
+
+val next_gap_ns : t -> int
+(** The gap to the next arrival, in simulated nanoseconds (at least
+    1). *)

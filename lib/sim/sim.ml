@@ -623,3 +623,7 @@ module Cond_r = struct
     Queue.clear c.waiters;
     List.iter (fun resume -> resume ()) all
 end
+
+(* Open-loop arrival generators, re-exported so harness code reaches
+   them as [Sim.Arrival] (the library's interface is this module). *)
+module Arrival = Arrival

@@ -224,3 +224,7 @@ module Cond_r : sig
   val signal : t -> unit
   val broadcast : t -> unit
 end
+
+(** Open-loop arrival generators (Poisson and bursty MMPP) for driving
+    serving workloads through the simulator; see [arrival.mli]. *)
+module Arrival : module type of Arrival

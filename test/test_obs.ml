@@ -566,6 +566,88 @@ let test_drain_wait_phase () =
       Alcotest.(check bool) "backpressure time lands in drain_wait" true
         (!drain_wait > 0))
 
+(* The compound case the two previous tests take separately (ISSUE 9,
+   satellite 2): one commit whose append stalls on a full log
+   ([ph_trunc_wait], subtracted from the log phase) AND whose push then
+   blocks in the in-flight window ([ph_drain_wait]) — the regime a
+   serving workload hits under a real drainer daemon.  Construction: a
+   1-deep window over a log that fits exactly one wide record, with a
+   daemon on the simulator.  Commit 1 pushes and backpressures; the
+   daemon pops the queue and starts flushing its 16 data lines, so
+   commit 2's append finds the log full with the head not yet advanced
+   (empty queue, [draining] set) — the stall path — and its own push
+   then waits for the daemon again.  Both phases land in one ledger
+   entry, and the mark chain must still partition the commit exactly:
+   any double-count (the stall charged to trunc_wait but not subtracted
+   from the log phase, or drain-wait overlapping it) breaks
+   phase_sum == total. *)
+let test_stall_and_drain_wait_same_commit () =
+  with_tmpdir (fun dir ->
+      let m = Scm.Env.make_machine ~seed:7 ~nframes:4096 () in
+      let backing = Region.Backing_store.open_dir dir in
+      let pmem = Region.Pmem.open_instance m backing in
+      let config =
+        {
+          Mtm.Txn.default_config with
+          nthreads = 1;
+          (* one 16-write record (36 stored words) fits; nothing more *)
+          log_cap_words = 40;
+          pipeline = true;
+          pipe_window = 1;
+        }
+      in
+      let pool = Mtm.Txn.create_pool ~config pmem None in
+      let v = Region.Pmem.default_view pmem in
+      let base = Region.Pmem.pmap v 4096 in
+      ignore (Region.Pmem.load v base);
+      let tp = Obs.Txprof.create (Mtm.Txn.obs pool).Obs.metrics in
+      Mtm.Txn.set_txprof pool (Some tp);
+      let sim = Sim.create () in
+      let sim_env =
+        Scm.Env.view m
+          ~delay:(fun ns -> Sim.delay sim ns)
+          ~now:(fun () -> Sim.now sim)
+      in
+      Sim.spawn sim (fun () ->
+          let th = Mtm.Txn.thread pool 0 sim_env in
+          let dview = Region.Pmem.view (Mtm.Txn.pmem pool) sim_env in
+          let svc =
+            Sim.Service.spawn sim ~work:(fun () ->
+                Mtm.Txn.drain_pipeline pool dview)
+          in
+          Mtm.Txn.set_drain_wake pool
+            (Some (fun _tid -> Sim.Service.wake svc));
+          let wide i =
+            Mtm.Txn.run th (fun tx ->
+                (* 16 distinct cache lines: the daemon's write-back
+                   sweep is long enough to still be in flight when the
+                   next append runs *)
+                for w = 0 to 15 do
+                  Mtm.Txn.store tx (base + (64 * w)) (Int64.of_int i)
+                done)
+          in
+          wide 1;
+          wide 2;
+          Sim.Service.stop svc);
+      Sim.run sim;
+      Alcotest.(check int) "commits recorded" 2 (Obs.Txprof.count tp);
+      Alcotest.(check int) "the second commit stalled" 1
+        (Mtm.Txn.stats pool).Mtm.Txn.log_full_stalls;
+      let compound = ref false in
+      List.iter
+        (fun e ->
+          let stall = e.Obs.Txprof.phases.(Obs.Txprof.ph_trunc_wait) in
+          let dwait = e.Obs.Txprof.phases.(Obs.Txprof.ph_drain_wait) in
+          if stall > 0 && dwait > 0 then compound := true;
+          if Obs.Txprof.phase_sum e <> e.Obs.Txprof.total_ns then
+            Alcotest.failf
+              "txid %d: phase sum %d <> total %d (trunc_wait %d, \
+               drain_wait %d: stall/drain-wait double-count)"
+              e.Obs.Txprof.txid (Obs.Txprof.phase_sum e)
+              e.Obs.Txprof.total_ns stall dwait)
+        (Obs.Txprof.top tp);
+      Alcotest.(check bool) "one commit carries both phases" true !compound)
+
 (* The disabled path must stay allocation-free: with no trace and no
    ledger installed every hook is one branch, and a commit's footprint
    stays within the perf baseline's minor-words budget. *)
@@ -625,6 +707,8 @@ let () =
             test_phase_sum_invariant;
           Alcotest.test_case "stall not leaked across install" `Quick
             test_stall_not_leaked_across_install;
+          Alcotest.test_case "stall and drain wait in one commit" `Quick
+            test_stall_and_drain_wait_same_commit;
           Alcotest.test_case "drain wait phase partitions exactly" `Quick
             test_drain_wait_phase;
         ] );

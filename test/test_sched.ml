@@ -224,6 +224,41 @@ let test_fuzz_pipelined_commit () =
            [ Sim.Schedule.Fifo; Sim.Schedule.Seeded_shuffle;
              Sim.Schedule.Priority ]))
 
+let test_fuzz_admission () =
+  (* Rejection paths under adversarial interleavings, sanitized: a
+     deterministic slice of the workload is shed before any transaction
+     exists, another slice stages (mangled) writes and cancels
+     mid-flight — on the pipelined commit path, where write-backs of
+     *committed* neighbors are in flight around every rejection.  The
+     serializability check against final memory plus pmcheck prove a
+     rejected request contributes nothing persistent. *)
+  with_tmpdir (fun dir ->
+      let base =
+        {
+          (H.default_cfg ~dir) with
+          H.zero_lat = true;
+          nslots = 8;
+          lease = 3;
+          stripes = 4;
+          group_commit = true;
+          pipeline = true;
+          cm_adaptive = true;
+          admission = true;
+          pmcheck = true;
+        }
+      in
+      fuzz "admission"
+        (List.concat_map
+           (fun policy ->
+             List.map
+               (fun seed ->
+                 ( { base with H.policy; seed },
+                   Printf.sprintf "%s/%d" (Sim.Schedule.policy_name policy)
+                     seed ))
+               [ 0; 1; 2 ])
+           [ Sim.Schedule.Fifo; Sim.Schedule.Seeded_shuffle;
+             Sim.Schedule.Priority ]))
+
 let test_fuzz_undo_mode () =
   with_tmpdir (fun dir ->
       let base =
@@ -261,6 +296,8 @@ let () =
             test_fuzz_scalable_commit;
           Alcotest.test_case "pipelined commit, sanitized" `Slow
             test_fuzz_pipelined_commit;
+          Alcotest.test_case "admission rejections, sanitized" `Slow
+            test_fuzz_admission;
           Alcotest.test_case "eager undo" `Slow test_fuzz_undo_mode;
         ] );
     ]
