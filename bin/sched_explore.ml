@@ -27,6 +27,7 @@
                    [--txns N] [--slots S] [--undo] [--trace]
                    [--lease N] [--stripes N] [--group-commit]
                    [--pipeline] [--cm-adaptive] [--admission]
+                   [--pmcheck] [--race]
                    [--record FILE | --replay FILE] [--dir D] [-v]
 *)
 
@@ -164,8 +165,8 @@ let run_sweep ~cfg0 ~policies ~seeds ~seed0 ~verbose =
 (* Command line                                                        *)
 
 let run seeds seed0 policy threads txns slots undo zero_lat lease stripes
-    group_commit pipeline cm_adaptive admission trace pmcheck record replay
-    dir verbose =
+    group_commit pipeline cm_adaptive admission trace pmcheck race record
+    replay dir verbose =
   let cfg0 =
     {
       (H.default_cfg ~dir) with
@@ -182,6 +183,7 @@ let run seeds seed0 policy threads txns slots undo zero_lat lease stripes
       admission;
       trace;
       pmcheck;
+      race;
       seed = seed0;
     }
   in
@@ -308,6 +310,16 @@ let pmcheck =
           "Run every schedule under the durability sanitizer; sanitizer \
            violations fail the run like serializability violations do.")
 
+let race =
+  Arg.(
+    value & flag
+    & info [ "race" ]
+        ~doc:
+          "Run every schedule under the happens-before race detector \
+           (FastTrack-style vector clocks over annotated volatile \
+           coordination state); detected races fail the run like \
+           serializability violations do and save a replayable trace.")
+
 let record =
   Arg.(
     value
@@ -340,6 +352,6 @@ let cmd =
     Term.(
       const run $ seeds $ seed0 $ policy $ threads $ txns $ slots $ undo
       $ zero_lat $ lease $ stripes $ group_commit $ pipeline $ cm_adaptive
-      $ admission $ trace $ pmcheck $ record $ replay $ dir $ verbose)
+      $ admission $ trace $ pmcheck $ race $ record $ replay $ dir $ verbose)
 
 let () = exit (Cmd.eval' cmd)

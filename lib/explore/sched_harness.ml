@@ -16,6 +16,7 @@ type cfg = {
   admission : bool;  (* serving-style admission: shed + cancel some txns *)
   trace : bool;
   pmcheck : bool;  (* run under the durability sanitizer *)
+  race : bool;  (* run under the happens-before race detector *)
   dir : string;
 }
 
@@ -36,6 +37,7 @@ let default_cfg ~dir =
     admission = false;
     trace = false;
     pmcheck = false;
+    race = false;
     dir;
   }
 
@@ -73,6 +75,7 @@ type outcome = {
   sim_ns : int;
   replay_leftover : int;
   replay_extra : int;
+  race_ops : int;
   obs : Obs.t;
 }
 
@@ -152,6 +155,26 @@ let run ?schedule cfg =
   Mtm.Txn.set_backoff_draw pool
     (Some (fun bound -> Sim.Schedule.draw sched ~bound));
   let sim = Sim.create ~schedule:sched () in
+  (* The race detector sees the run through the sim's own fiber ids and
+     clock: HB edges come from real synchronization (spawn, wake→unpark
+     token delivery, lock hand-offs, queue push/pop), never from plain
+     yields — so a race is flagged on every schedule that could reorder
+     the two accesses, not just the one where the bad interleaving
+     fired.  Installed before any fiber is spawned, removed after the
+     run; rendered races join [violations] like serializability
+     failures. *)
+  let det =
+    if cfg.race then
+      Some
+        (Check.Racecheck.create
+           ~fiber:(fun () -> Sim.current_proc sim)
+           ~now:(fun () -> Sim.now sim)
+           ())
+    else None
+  in
+  let race_hooks = Option.map Check.Racecheck.hooks det in
+  Sim.set_race sim race_hooks;
+  Mtm.Txn.set_race pool race_hooks;
   if cfg.trace then
     Sim.Schedule.set_observer sched
       (Some
@@ -192,6 +215,9 @@ let run ?schedule cfg =
            { Serve.Admission.queue_cap = 4; log_high_pct = 95; boost_pct = 0 })
     else None
   in
+  (match adm with
+  | Some a -> Serve.Admission.set_race a race_hooks
+  | None -> ());
   for i = 0 to cfg.threads - 1 do
     Sim.spawn sim (fun () ->
         let env =
@@ -259,6 +285,8 @@ let run ?schedule cfg =
   Mtm.Txn.set_history_hook pool None;
   Mtm.Txn.set_backoff_draw pool None;
   Mtm.Txn.set_drain_wake pool None;
+  Mtm.Txn.set_race pool None;
+  Sim.set_race sim None;
   Sim.Schedule.set_observer sched None;
   let view = Mnemosyne.view inst in
   let violations =
@@ -272,6 +300,13 @@ let run ?schedule cfg =
     | Some chk ->
         violations @ List.map Scm.Pmcheck.render (Scm.Pmcheck.violations chk)
   in
+  let violations =
+    match det with
+    | None -> violations
+    | Some det ->
+        violations
+        @ List.map Check.Racecheck.render (Check.Racecheck.races det)
+  in
   let stats = Mtm.Txn.stats pool in
   {
     schedule = sched;
@@ -284,6 +319,7 @@ let run ?schedule cfg =
     sim_ns = Sim.now sim;
     replay_leftover = Sim.Schedule.replay_leftover sched;
     replay_extra = Sim.Schedule.replay_extra sched;
+    race_ops = (match det with None -> 0 | Some d -> Check.Racecheck.ops d);
     obs;
   }
 
@@ -303,6 +339,7 @@ let save_schedule outcome cfg path =
   Sim.Schedule.set_meta s "cm" (if cfg.cm_adaptive then "adaptive" else "legacy");
   Sim.Schedule.set_meta s "admission" (if cfg.admission then "1" else "0");
   Sim.Schedule.set_meta s "pmcheck" (if cfg.pmcheck then "1" else "0");
+  Sim.Schedule.set_meta s "race" (if cfg.race then "1" else "0");
   Sim.Schedule.save s path
 
 let cfg_of_schedule ~dir sched =
@@ -328,4 +365,5 @@ let cfg_of_schedule ~dir sched =
     cm_adaptive = Sim.Schedule.meta sched "cm" = Some "adaptive";
     admission = Sim.Schedule.meta sched "admission" = Some "1";
     pmcheck = Sim.Schedule.meta sched "pmcheck" = Some "1";
+    race = Sim.Schedule.meta sched "race" = Some "1";
   }

@@ -50,6 +50,16 @@ type cfg = {
       (** Install the {!Scm.Pmcheck} durability sanitizer before the
           run; any violations it records are appended (rendered) to the
           outcome's [violations]. *)
+  race : bool;
+      (** Install the {!Check.Racecheck} happens-before race detector
+          over the run's annotated volatile coordination state; any
+          races it records are appended (rendered) to the outcome's
+          [violations], so they fail runs — and save replayable traces
+          — exactly like serializability violations.  HB edges come
+          only from real synchronization (fiber spawn, service
+          wake→unpark, queue push/pop, lock hand-offs), never plain
+          yields, so one schedule flags every race any schedule could
+          exhibit on the same access pairs. *)
   dir : string;  (** Scratch instance directory (reset on each run). *)
 }
 
@@ -72,6 +82,10 @@ type outcome = {
           trace recorded against since-fixed code legitimately
           diverges (the fix changes a transaction's fate) while still
           exercising the schedule prefix that tripped the bug. *)
+  race_ops : int;
+      (** Annotated accesses the armed race detector processed (0 with
+          [race = false]) — lets a test distinguish "no races" from "the
+          detector never saw an event". *)
   obs : Obs.t;
 }
 

@@ -25,6 +25,13 @@ type t = {
      chunk reads in bounds (and are zeroed so the final chunk's padding
      bits are zero, as {!Bitstream.Packer.flush} would emit). *)
   mutable scratch : Bytes.t;
+  mutable race : Race_api.hooks option;
+      (* The head and tail cursors are the volatile handoff between
+         appender and drainer: each is a single atomic word and its own
+         sync object (DESIGN.md section 18).  Appends rmw the tail,
+         head advances rmw the head, occupancy probes acquire both. *)
+  race_head : string;  (* "log.<base>.head" *)
+  race_tail : string;
 }
 
 let header_bytes = 64
@@ -44,8 +51,25 @@ let max_record_words_for ~cap_words = (63 * (cap_words - 1) / 64) - 1
 
 let max_record_words t = max_record_words_for ~cap_words:t.cap
 
+let race_labels_for base =
+  ( Printf.sprintf "log.%08x.head" base,
+    Printf.sprintf "log.%08x.tail" base )
+
+let set_race t h = t.race <- h
+
+let[@inline] race_acq t label =
+  match t.race with None -> () | Some hk -> hk.Race_api.acquire label
+
+let[@inline] race_rmw t label =
+  match t.race with None -> () | Some hk -> hk.Race_api.rmw label
+
 let capacity t = t.cap
-let used_words t = (t.tail_off - t.head_off + t.cap) mod t.cap
+
+let used_words t =
+  race_acq t t.race_head;
+  race_acq t t.race_tail;
+  (t.tail_off - t.head_off + t.cap) mod t.cap
+
 let free_words t = t.cap - 1 - used_words t
 let torn_bit_position t = t.tail_tpos
 
@@ -140,6 +164,7 @@ let create ?(rotate_torn_bit = false) v ~base ~cap_words =
   if cap_words < 4 then invalid_arg "Rawl.create: capacity too small";
   register_with_pmcheck v ~base ~cap_words;
   let append_ctr, trunc_ctr = mk_counters v in
+  let race_head, race_tail = race_labels_for base in
   let t =
     {
       v;
@@ -157,6 +182,9 @@ let create ?(rotate_torn_bit = false) v ~base ~cap_words =
       trunc_ctr;
       owner = 0;
       scratch = Bytes.make 512 '\000';
+      race = None;
+      race_head;
+      race_tail;
     }
   in
   register_gauges t;
@@ -222,6 +250,10 @@ let append_staged t ~n ~span =
     in
     write_stored t chunk
   done;
+  (* One tail-cursor rmw per record, not per word: the record lands
+     atomically from the drainer's point of view (it only trusts words
+     behind the published tail). *)
+  race_rmw t t.race_tail;
   Obs.Metrics.incr t.append_ctr;
   Obs.complete obs Obs.Trace.Log_append ~ts:t0
     ~dur:(env.Scm.Env.now () - t0) ~arg:span;
@@ -278,6 +310,7 @@ let flush_group ts = Pmem.fence_many (List.map (fun t -> t.v) ts)
 (* Post the new head word without the fence: the group truncation path
    batches several logs' head advances under one combined fence. *)
 let post_head t ~off ~parity ~tpos =
+  race_rmw t t.race_head;
   Pmem.wtstore t.v (head_addr t) (pack_head ~off ~parity ~tpos);
   t.head_off <- off;
   t.head_parity <- parity;
@@ -298,6 +331,7 @@ let rotate_generation t =
     Pmem.wtstore t.v (slot_addr t i) 0L
   done;
   Pmem.fence t.v;
+  race_rmw t t.race_tail;
   t.tail_off <- 0;
   t.tail_parity <- 1;
   t.tail_tpos <- tpos;
@@ -364,10 +398,12 @@ let attach v ~base =
   register_with_pmcheck v ~base ~cap_words:cap;
   let head_off, head_parity, head_tpos = unpack_head (Pmem.load v base) in
   let append_ctr, trunc_ctr = mk_counters v in
+  let race_head, race_tail = race_labels_for base in
   let t =
     { v; base; cap; rotate; passes = 0; head_off; head_parity; head_tpos;
       tail_off = head_off; tail_parity = head_parity; tail_tpos = head_tpos;
-      append_ctr; trunc_ctr; owner = 0; scratch = Bytes.make 512 '\000' }
+      append_ctr; trunc_ctr; owner = 0; scratch = Bytes.make 512 '\000';
+      race = None; race_head; race_tail }
   in
   register_gauges t;
   (* Scan forward from the head "until it reaches the end of the log,

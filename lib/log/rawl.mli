@@ -123,6 +123,14 @@ val used_words : t -> int
 val free_words : t -> int
 val capacity : t -> int
 
+val set_race : t -> Race_api.hooks option -> unit
+(** Race-detection hooks (DESIGN.md section 18).  The volatile head
+    and tail cursors are the appender/drainer handoff: each is a
+    single-word atomic sync object — appends rmw the tail (once per
+    record), head advances rmw the head, and occupancy probes
+    ({!used_words}/{!free_words}) acquire both.  [None] (the default)
+    keeps every site a single never-taken branch. *)
+
 (** {1 Read-only format introspection}
 
     The on-SCM header/word formats, exposed for the offline image

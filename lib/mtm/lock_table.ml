@@ -36,6 +36,12 @@ type t = {
   sbits : int; (* log2 (Array.length stripes) *)
   smask : int;
   mask : int; (* per-stripe entry count - 1 *)
+  mutable race : Race_api.hooks option;
+      (* Every entry is a single-word CAS-able atomic in a real
+         runtime: acquisition is an rmw, releases publish, reads
+         acquire.  Each entry is its own sync object, so HB flows
+         per-stripe-entry, never through the table as a whole
+         (DESIGN.md section 18). *)
 }
 
 let make_stripe n =
@@ -59,7 +65,27 @@ let create ?(bits = 18) ?(stripes = 1) () =
     sbits;
     smask = stripes - 1;
     mask = n - 1;
+    race = None;
   }
+
+let set_race t h = t.race <- h
+
+let[@inline] entry_label h = "mtm.lock." ^ string_of_int h
+
+let[@inline] race_acq t h =
+  match t.race with
+  | None -> ()
+  | Some hk -> hk.Race_api.acquire (entry_label h)
+
+let[@inline] race_rel t h =
+  match t.race with
+  | None -> ()
+  | Some hk -> hk.Race_api.release (entry_label h)
+
+let[@inline] race_rmw t h =
+  match t.race with
+  | None -> ()
+  | Some hk -> hk.Race_api.rmw (entry_label h)
 
 (* Each lock covers one 64-byte line of the address space (the paper:
    "each lock covering a portion of the address space").  Range
@@ -75,30 +101,49 @@ let[@inline] index_of t addr =
 
 let[@inline] stripe_of t h = t.stripes.(h land t.smask)
 let[@inline] slot_of t h = h lsr t.sbits
-let version t h = (stripe_of t h).versions.(slot_of t h)
-let owner t h = (stripe_of t h).owners.(slot_of t h)
-let rts t h = (stripe_of t h).rts.(slot_of t h)
-let held_addr t h = (stripe_of t h).addrs.(slot_of t h)
+let[@inline] version t h =
+  race_acq t h;
+  (stripe_of t h).versions.(slot_of t h)
+
+let[@inline] owner t h =
+  race_acq t h;
+  (stripe_of t h).owners.(slot_of t h)
+
+let[@inline] rts t h =
+  race_acq t h;
+  (stripe_of t h).rts.(slot_of t h)
+
+let[@inline] held_addr t h =
+  race_acq t h;
+  (stripe_of t h).addrs.(slot_of t h)
 
 (* Only meaningful while the entry is held: conflicts are attributed at
    the moment they are observed, against the current owner. *)
-let aliased t h ~addr =
+let[@inline] aliased t h ~addr =
   let held = held_addr t h in
   held <> 0 && held <> addr
 
-let try_acquire t h ~owner ~addr =
+let[@inline] try_acquire t h ~owner ~addr =
   let st = stripe_of t h in
   let slot = slot_of t h in
   if st.owners.(slot) = -1 then begin
+    race_rmw t h;
     st.owners.(slot) <- owner;
     st.addrs.(slot) <- addr;
     true
   end
-  else st.owners.(slot) = owner
+  else begin
+    (* A failed (or re-entrant) probe still reads the word. *)
+    race_acq t h;
+    st.owners.(slot) = owner
+  end
 
-let release t h = (stripe_of t h).owners.(slot_of t h) <- -1
+let[@inline] release t h =
+  race_rel t h;
+  (stripe_of t h).owners.(slot_of t h) <- -1
 
-let release_versioned t h ~version =
+let[@inline] release_versioned t h ~version =
+  race_rel t h;
   let st = stripe_of t h in
   let slot = slot_of t h in
   st.versions.(slot) <- version;
@@ -106,7 +151,8 @@ let release_versioned t h ~version =
 
 (* Reader watermark: monotone, bumped inside the same atomic
    (yield-free) step as the validation that justifies it. *)
-let bump_rts t h v =
+let[@inline] bump_rts t h v =
+  race_rmw t h;
   let st = stripe_of t h in
   let slot = slot_of t h in
   if st.rts.(slot) < v then st.rts.(slot) <- v

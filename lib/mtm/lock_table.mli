@@ -60,3 +60,10 @@ val bump_rts : t -> int -> int -> unit
 
 val stripes : t -> int
 val entries : t -> int
+
+val set_race : t -> Race_api.hooks option -> unit
+(** Race-detection hooks (DESIGN.md section 18).  Each entry is a
+    single-word atomic and its own sync object: {!try_acquire} and
+    {!bump_rts} are rmw edges, the releases publish, reads acquire.
+    [None] (the default) keeps every site a single never-taken
+    branch. *)

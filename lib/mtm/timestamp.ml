@@ -16,8 +16,19 @@
    and refilled above it; disjoint leases keep every issued value
    unique, which is what recovery's replay-in-cts-order relies on. *)
 
-type t = { mutable now : int; mutable active : int }
+type t = {
+  mutable now : int;
+  mutable active : int;
+  mutable race : Race_api.hooks option;
+      (* The counter is one shared atomic word: bumps and lease refills
+         are rmw edges on "mtm.ts.now" (DESIGN.md section 18).  Leases
+         themselves are thread-private and fire nothing. *)
+}
+
 type lease = { mutable next : int; mutable last : int }
+
+let[@inline] race_rmw t label =
+  match t.race with None -> () | Some hk -> hk.Race_api.rmw label
 
 (* Commit timestamps are packed into 62 usable bits of a redo-record
    header word (the torn-bit log steals one bit, the sign another).
@@ -41,13 +52,15 @@ let () =
    it; a negative candidate is the wrapped form of exhaustion. *)
 let[@inline] check_ceiling n = if n > max_cts || n < 0 then raise Exhausted
 
-let create () = { now = 0; active = 0 }
+let create () = { now = 0; active = 0; race = None }
+let set_race t h = t.race <- h
 let now t = t.now
 let lease_create () = { next = 1; last = 0 } (* empty: next > last *)
 let lease_remaining l = if l.last >= l.next then l.last - l.next + 1 else 0
 
 let next t (env : Scm.Env.t) =
   env.delay (env.machine.latency.timestamp_ns * max 1 t.active);
+  race_rmw t "mtm.ts.now";
   check_ceiling (t.now + 1);
   t.now <- t.now + 1;
   t.now
@@ -69,6 +82,10 @@ let draw t (env : Scm.Env.t) (l : lease) ~size ~floor =
     end
     else begin
       env.delay (env.machine.latency.timestamp_ns * max 1 t.active);
+      (* The refill is the contended shared-word rmw — and the only
+         yield in the draw path, which is why commit paths
+         re-validate after drawing. *)
+      race_rmw t "mtm.ts.now";
       let base = if t.now > floor then t.now else floor in
       check_ceiling (base + size);
       t.now <- base + size;
@@ -82,9 +99,15 @@ let draw t (env : Scm.Env.t) (l : lease) ~size ~floor =
    past the largest replayed cts in O(1).  Callers charge whatever
    simulated cost the jump models; this only moves the counter. *)
 let advance_to t n =
+  race_rmw t "mtm.ts.now";
   check_ceiling n;
   if n > t.now then t.now <- n
 
-let register_thread t = t.active <- t.active + 1
-let unregister_thread t = t.active <- max 0 (t.active - 1)
+let register_thread t =
+  race_rmw t "mtm.ts.active";
+  t.active <- t.active + 1
+
+let unregister_thread t =
+  race_rmw t "mtm.ts.active";
+  t.active <- max 0 (t.active - 1)
 let active_threads t = t.active

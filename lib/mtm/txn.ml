@@ -129,6 +129,12 @@ type pool = {
   abort_lines : (int, int ref) Hashtbl.t;
   mutable backoff_ns : int;
   mutable cm_waits : int;
+  (* Race-detection hooks (DESIGN.md section 18), [None] by default
+     under the same one-branch discipline as the exploration hooks.
+     {!set_race} forwards them to the lock table, the timestamp
+     counter and every thread log, so the whole coordination surface
+     reports to one detector. *)
+  mutable race : Race_api.hooks option;
 }
 
 and thread = {
@@ -164,6 +170,11 @@ and thread = {
   mutable draining : bool;
       (* the drainer popped this queue and has not yet advanced the
          head: inline drains must wait instead of double-retiring *)
+  mutable race_pushes : int;
+      (* detector bookkeeping: descriptors pushed/popped through
+         [pending_q], numbering the per-item plain-access labels so
+         each delivered descriptor is its own checked location *)
+  mutable race_pops : int;
   mutable last_conflict_addr : int;
       (* address whose lock conflict caused the latest abort, for the
          adaptive backoff's per-line contention scaling *)
@@ -328,6 +339,7 @@ let create_pool ?(config = default_config) pmem heap =
       abort_lines = Hashtbl.create 64;
       backoff_ns = 0;
       cm_waits = 0;
+      race = None;
     }
   in
   (* Recovery: gather complete records from every thread log, replay in
@@ -456,6 +468,8 @@ let thread pool i env =
     nreads = 0;
     cur_txid = 0;
     draining = false;
+    race_pushes = 0;
+    race_pops = 0;
     last_conflict_addr = 0;
     prof_phases = Array.make Obs.Txprof.nphases 0;
     prof_start = 0;
@@ -466,12 +480,120 @@ let thread pool i env =
   }
   in
   pool.threads <- th :: pool.threads;
+  (* a detector installed before this thread was bound covers its log *)
+  (match pool.race with
+  | None -> ()
+  | Some _ as h -> Pmlog.Rawl.set_race th.log h);
   th
 
 let set_history_hook pool h = pool.history <- h
 let set_backoff_draw pool d = pool.backoff_draw <- d
 let set_txprof pool tp = pool.txprof <- tp
 let txprof pool = pool.txprof
+
+let set_race pool h =
+  pool.race <- h;
+  Lock_table.set_race pool.locks h;
+  Timestamp.set_race pool.ts h;
+  Array.iter (fun l -> Pmlog.Rawl.set_race l h) pool.logs;
+  List.iter (fun th -> Pmlog.Rawl.set_race th.log h) pool.threads
+
+(* ---------------------------------------------------------------- *)
+(* Race-detector annotations (DESIGN.md section 18).
+
+   Classification: [pending_q] is an mpsc channel (push = release,
+   pop = acquire) and every descriptor delivered through it is its own
+   plain checked location — the channel edge is exactly what makes the
+   descriptor handoff race-free, so a broken wake/drain protocol shows
+   up as a read/write race on the descriptor.  [draining], [gc_done],
+   [gc_leading] and the waiter list are single-word flags
+   (test-and-set = rmw, clear = release, poll = acquire); [cm_stamps]
+   slots are publish/observe words (release/acquire); [abort_lines]
+   and [next_txid] are shared rmw words.  Each helper is one branch
+   when no detector is installed; label strings are only built when
+   one is. *)
+
+let[@inline] race_q_push th =
+  match th.pool.race with
+  | None -> ()
+  | Some h ->
+      let k = th.race_pushes in
+      th.race_pushes <- k + 1;
+      h.Race_api.write (Printf.sprintf "mtm.th.%d.pending.%d" th.id k);
+      h.Race_api.release ("mtm.th." ^ string_of_int th.id ^ ".pending_q")
+
+let[@inline] race_q_pop th =
+  match th.pool.race with
+  | None -> ()
+  | Some h ->
+      let k = th.race_pops in
+      th.race_pops <- k + 1;
+      h.Race_api.acquire ("mtm.th." ^ string_of_int th.id ^ ".pending_q");
+      h.Race_api.read (Printf.sprintf "mtm.th.%d.pending.%d" th.id k)
+
+let[@inline] race_q_probe th =
+  (* Queue.length / Queue.is_empty: reads the channel's state word. *)
+  match th.pool.race with
+  | None -> ()
+  | Some h ->
+      h.Race_api.acquire ("mtm.th." ^ string_of_int th.id ^ ".pending_q")
+
+let[@inline] draining_label th = "mtm.th." ^ string_of_int th.id ^ ".draining"
+
+let[@inline] race_draining_set th =
+  match th.pool.race with
+  | None -> ()
+  | Some h -> h.Race_api.rmw (draining_label th)
+
+let[@inline] race_draining_clear th =
+  match th.pool.race with
+  | None -> ()
+  | Some h -> h.Race_api.release (draining_label th)
+
+let[@inline] race_draining_read th =
+  match th.pool.race with
+  | None -> ()
+  | Some h -> h.Race_api.acquire (draining_label th)
+
+let[@inline] gc_done_label th = "mtm.th." ^ string_of_int th.id ^ ".gc_done"
+let[@inline] cm_stamp_label i = "mtm.cm.stamp." ^ string_of_int i
+
+(* Per-id labels must only be built under [Some]: the stamp publish
+   sits on every transaction's commit path, so an eager [^] there
+   would allocate with the detector off. *)
+let[@inline] race_rel_stamp pool i =
+  match pool.race with
+  | None -> ()
+  | Some h -> h.Race_api.release (cm_stamp_label i)
+
+let[@inline] race_acq_stamp pool i =
+  match pool.race with
+  | None -> ()
+  | Some h -> h.Race_api.acquire (cm_stamp_label i)
+
+let[@inline] race_rel_gc_done pool th =
+  match pool.race with
+  | None -> ()
+  | Some h -> h.Race_api.release (gc_done_label th)
+
+let[@inline] race_acq_gc_done pool th =
+  match pool.race with
+  | None -> ()
+  | Some h -> h.Race_api.acquire (gc_done_label th)
+
+let[@inline] race_rmw_gc_done pool th =
+  match pool.race with
+  | None -> ()
+  | Some h -> h.Race_api.rmw (gc_done_label th)
+
+let[@inline] race_rmw pool label =
+  match pool.race with None -> () | Some h -> h.Race_api.rmw label
+
+let[@inline] race_acq pool label =
+  match pool.race with None -> () | Some h -> h.Race_api.acquire label
+
+let[@inline] race_rel_label pool label =
+  match pool.race with None -> () | Some h -> h.Race_api.release label
 
 (* Attribute everything since the last mark to [phase] and advance the
    mark.  Only called when the pool has a ledger; reads the clock but
@@ -573,6 +695,7 @@ let[@inline] note_false_conflict tx locks idx ~addr =
    simulated time, no rng — so the legacy schedule is untouched. *)
 let abort_on_conflict tx addr =
   let th = tx.th in
+  race_rmw th.pool "mtm.cm.abort_lines";
   th.last_conflict_addr <- addr;
   let line = addr land lnot 63 in
   (match Hashtbl.find_opt th.pool.abort_lines line with
@@ -581,6 +704,7 @@ let abort_on_conflict tx addr =
   raise Abort_internal
 
 let line_abort_count pool addr =
+  race_acq pool "mtm.cm.abort_lines";
   match Hashtbl.find_opt pool.abort_lines (addr land lnot 63) with
   | Some r -> !r
   | None -> 0
@@ -595,7 +719,11 @@ let[@inline] cm_should_wait th o =
   th.pool.cfg.cm == Cm_adaptive
   && o >= 0
   && o < Array.length th.pool.cm_stamps
-  && th.pool.cm_stamps.(th.id) < th.pool.cm_stamps.(o)
+  && begin
+       race_acq_stamp th.pool th.id;
+       race_acq_stamp th.pool o;
+       th.pool.cm_stamps.(th.id) < th.pool.cm_stamps.(o)
+     end
 
 (* Poll (bounded by [cm_wait_ns]) for the younger owner to release;
    true when the lock changed hands, i.e. the access is worth
@@ -874,9 +1002,11 @@ let charge_log_read (dview : Pmem.view) ~nwrites =
     (words * dview.Pmem.env.machine.latency.dram_read_ns / 2)
 
 let process_one_truncation th dview =
+  race_q_probe th;
   match Queue.take_opt th.pending_q with
   | None -> false
   | Some { span; addrs; txid } ->
+      race_q_pop th;
       charge_log_read dview ~nwrites:(Array.length addrs);
       flush_sorted_lines dview addrs (Array.length addrs);
       Pmlog.Rawl.advance_head th.log ~words:span;
@@ -898,6 +1028,7 @@ let process_truncations th dview =
    queued records all sit in the log simultaneously, so the summed span
    is at most the capacity and the advance wraps at most once. *)
 let drain_truncations_batched th =
+  race_q_probe th;
   if not (Queue.is_empty th.pending_q) then begin
     let total_words = ref 0 and total_addrs = ref 0 in
     Queue.iter
@@ -909,6 +1040,7 @@ let drain_truncations_batched th =
     let all = Array.make (max 1 !total_addrs) 0 in
     let off = ref 0 in
     while not (Queue.is_empty th.pending_q) do
+      race_q_pop th;
       let { span = _; addrs; txid } = Queue.pop th.pending_q in
       charge_log_read th.view ~nwrites:(Array.length addrs);
       Array.blit addrs 0 all !off (Array.length addrs);
@@ -922,14 +1054,17 @@ let drain_truncations_batched th =
 
 let drain_truncations_blocking th =
   if th.pool.cfg.group_commit then drain_truncations_batched th
-  else
+  else begin
+    race_q_probe th;
     while not (Queue.is_empty th.pending_q) do
+      race_q_pop th;
       let { span; addrs; txid } = Queue.pop th.pending_q in
       charge_log_read th.view ~nwrites:(Array.length addrs);
       flush_sorted_lines th.view addrs (Array.length addrs);
       Pmlog.Rawl.advance_head th.log ~words:span;
       if txid <> 0 then Obs.flow th.pool.obs ~phase:`End ~id:txid
     done
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Pipelined commit: the write-back drainer                            *)
@@ -941,15 +1076,19 @@ let drain_poll_ns = 60
    head has not advanced yet), wait for it rather than double-retiring
    records. *)
 let pipe_drain_self th =
+  race_draining_read th;
   if th.draining then begin
     let env = th.view.Pmem.env in
     while th.draining do
-      env.Scm.Env.delay drain_poll_ns
+      env.Scm.Env.delay drain_poll_ns;
+      race_draining_read th
     done
   end
   else begin
+    race_draining_set th;
     th.draining <- true;
     drain_truncations_batched th;
+    race_draining_clear th;
     th.draining <- false
   end
 
@@ -962,6 +1101,7 @@ let pipe_drain_self th =
 let pipe_backpressure th =
   let pool = th.pool in
   let window = max 1 pool.cfg.pipe_window in
+  race_q_probe th;
   if Queue.length th.pending_q >= window then begin
     (match pool.drain_wake with
     | None -> pipe_drain_self th
@@ -972,9 +1112,11 @@ let pipe_backpressure th =
         while Queue.length th.pending_q >= window && !polls < 4096 do
           env.Scm.Env.delay drain_poll_ns;
           incr polls;
+          race_q_probe th;
           if !polls land 63 = 0 then wake th.id
         done;
         (* daemon starved or gone: clear the window ourselves *)
+        race_q_probe th;
         if Queue.length th.pending_q >= window then pipe_drain_self th);
     if pool.txprof != None then prof_phase th Obs.Txprof.ph_drain_wait
   end
@@ -1011,12 +1153,18 @@ let drain_pipeline ?shard pool (dview : Pmem.view) =
   let total_addrs = ref 0 in
   List.iter
     (fun th ->
+      if mine th then begin
+        race_draining_read th;
+        race_q_probe th
+      end;
       if mine th && (not th.draining) && not (Queue.is_empty th.pending_q)
       then begin
+        race_draining_set th;
         th.draining <- true;
         let records = ref 0 and words = ref 0 in
         let addrs = ref [] and txids = ref [] in
         while not (Queue.is_empty th.pending_q) do
+          race_q_pop th;
           let p = Queue.pop th.pending_q in
           incr records;
           words := !words + p.span;
@@ -1056,6 +1204,7 @@ let drain_pipeline ?shard pool (dview : Pmem.view) =
       List.iter
         (fun (th, _, _, _, txids) ->
           List.iter (fun txid -> Obs.flow pool.obs ~phase:`End ~id:txid) txids;
+          race_draining_clear th;
           th.draining <- false)
         batches;
       true
@@ -1076,33 +1225,46 @@ let drain_pipeline ?shard pool (dview : Pmem.view) =
 let gc_poll_ns = 40
 
 let gc_lead th pool (env : Scm.Env.t) =
+  race_rmw pool "mtm.gc.lead";
   pool.gc_leading <- true;
   (* linger to gather companions, unless running alone (the window
      would be pure added latency) *)
   if pool.cfg.gc_window_ns > 0 && Timestamp.active_threads pool.ts > 1 then
     env.delay pool.cfg.gc_window_ns;
+  race_rmw pool "mtm.gc.waiters";
   let members = pool.gc_waiters in
   pool.gc_waiters <- [];
   (* the leader's log first: the running thread pays the shared cost *)
   let members = th :: List.filter (fun m -> m != th) members in
   Pmlog.Rawl.flush_group (List.map (fun m -> m.log) members);
-  List.iter (fun m -> m.gc_done <- true) members;
+  List.iter
+    (fun m ->
+      race_rel_gc_done pool m;
+      m.gc_done <- true)
+    members;
+  race_rel_label pool "mtm.gc.lead";
   pool.gc_leading <- false;
   Obs.Metrics.record pool.h_gc_group (List.length members)
 
 let rec gc_wait th pool (env : Scm.Env.t) =
-  if not th.gc_done then
+  race_acq_gc_done pool th;
+  if not th.gc_done then begin
+    race_acq pool "mtm.gc.lead";
     if not pool.gc_leading then gc_lead th pool env
     else begin
       env.delay gc_poll_ns;
       gc_wait th pool env
     end
+  end
 
 let gc_retire th =
   let pool = th.pool in
   let env = th.view.Pmem.env in
+  race_rmw_gc_done pool th;
   th.gc_done <- false;
+  race_rmw pool "mtm.gc.waiters";
   pool.gc_waiters <- th :: pool.gc_waiters;
+  race_acq pool "mtm.gc.lead";
   if pool.gc_leading then begin
     env.delay gc_poll_ns;
     gc_wait th pool env
@@ -1166,6 +1328,8 @@ let append_record tx buf ~len =
     match Pmlog.Rawl.append_bytes tx.th.log buf ~len with
     | Pmlog.Rawl.Appended span -> span
     | Pmlog.Rawl.Full ->
+        race_q_probe tx.th;
+        race_draining_read tx.th;
         if Queue.is_empty tx.th.pending_q && not tx.th.draining then
           failwith
             (record_capacity_msg tx ~context:"transaction record larger \
@@ -1200,8 +1364,12 @@ let append_record tx buf ~len =
                  do
                    env.Scm.Env.delay drain_poll_ns;
                    incr polls;
+                   race_q_probe tx.th;
+                   race_draining_read tx.th;
                    if !polls land 63 = 0 then wake tx.th.id
                  done;
+                 race_q_probe tx.th;
+                 race_draining_read tx.th;
                  if (not (Queue.is_empty tx.th.pending_q)) || tx.th.draining
                  then pipe_drain_self tx.th
            end
@@ -1350,6 +1518,7 @@ let commit_redo tx =
         observe the committed values through the cache at version
         [cts]; a crash is covered because recovery replays the still
         unretired record. *)
+     race_q_push th;
      Queue.push
        { span; addrs = Array.sub th.sorted 0 n; txid = th.cur_txid }
        th.pending_q;
@@ -1362,6 +1531,7 @@ let commit_redo tx =
             flush dedupes lines hot across the batch and the head
             advances (one fence) once per batch instead of once per
             commit *)
+         race_q_push th;
          Queue.push
            { span; addrs = Array.sub th.sorted 0 n; txid = th.cur_txid }
            th.pending_q;
@@ -1375,6 +1545,7 @@ let commit_redo tx =
          if th.cur_txid <> 0 then
            Obs.flow pool.obs ~phase:`End ~id:th.cur_txid
      | Async ->
+         race_q_push th;
          Queue.push
            { span; addrs = Array.sub th.sorted 0 n; txid = th.cur_txid }
            th.pending_q);
@@ -1565,6 +1736,7 @@ let run th f =
          drains they later cause — to it.  Plain int stores: no
          simulated time, no rng, no allocation, so the default
          schedule and sim figures are untouched. *)
+      race_rmw pool "mtm.txid";
       pool.next_txid <- pool.next_txid + 1;
       let txid = pool.next_txid in
       th.cur_txid <- txid;
@@ -1573,6 +1745,7 @@ let run th f =
       (* Publish the contention-manager priority stamp: assigned once
          per [run], not per attempt, so a transaction that keeps
          retrying keeps its (low, old) stamp and ages into priority. *)
+      race_rel_stamp pool th.id;
       pool.cm_stamps.(th.id) <- txid;
       (* [prof_stall_ns] accumulates in [append_record] whether or not a
          ledger is installed, so it must start clean unconditionally: a
@@ -1595,6 +1768,7 @@ let run th f =
           th.cur_txid <- 0;
           env.Scm.Env.cur_txid <- 0;
           Pmlog.Rawl.set_owner th.log 0;
+          race_rel_stamp pool th.id;
           pool.cm_stamps.(th.id) <- max_int;
           raise Contention
         end;
@@ -1658,6 +1832,7 @@ let run th f =
               th.cur_txid <- 0;
               env.Scm.Env.cur_txid <- 0;
               Pmlog.Rawl.set_owner th.log 0;
+              race_rel_stamp pool th.id;
               pool.cm_stamps.(th.id) <- max_int;
               result
             end
@@ -1676,6 +1851,7 @@ let run th f =
             th.cur_txid <- 0;
             env.Scm.Env.cur_txid <- 0;
             Pmlog.Rawl.set_owner th.log 0;
+            race_rel_stamp pool th.id;
             pool.cm_stamps.(th.id) <- max_int;
             raise e
       in

@@ -315,3 +315,17 @@ val set_txprof : pool -> Obs.Txprof.t option -> unit
     time, draws randomness, or allocates on the steady-state path. *)
 
 val txprof : pool -> Obs.Txprof.t option
+
+val set_race : pool -> Race_api.hooks option -> unit
+(** Install race-detection hooks over the pool's volatile coordination
+    state ([None] by default, same one-branch discipline as the other
+    exploration hooks) and propagate them to the lock table, the
+    timestamp source, and every bound thread's log.  Annotated state
+    (DESIGN.md section 18): the per-thread pending-truncation queue is
+    a channel (push = release, pop = acquire) whose descriptors are
+    individually checked plain locations — a wake/drain protocol hole
+    shows up as a data race on a descriptor; the [draining] flag,
+    group-commit leader flag / waiter list / per-thread done flags, the
+    contention-manager stamps and abort-line table, and the global
+    transaction-id counter are single-word sync objects.  Threads bound
+    after installation inherit the hooks. *)

@@ -17,6 +17,12 @@ type t = {
   mutable admitted : int;
   mutable shed_queue : int;
   mutable shed_log : int;
+  mutable race : Race_api.hooks option;
+      (* The shed/admit tallies are shared single-word counters bumped
+         from every dispatcher fiber: each decision is one rmw on its
+         counter (DESIGN.md section 18).  The queue-depth/occupancy
+         inputs are sampled by the caller, which carries its own
+         annotations. *)
 }
 
 let make cfg =
@@ -25,7 +31,12 @@ let make cfg =
     invalid_arg "Admission.make: log_high_pct outside [0, 100]";
   if cfg.boost_pct < 0 || cfg.boost_pct > 100 then
     invalid_arg "Admission.make: boost_pct outside [0, 100]";
-  { cfg; admitted = 0; shed_queue = 0; shed_log = 0 }
+  { cfg; admitted = 0; shed_queue = 0; shed_log = 0; race = None }
+
+let set_race t h = t.race <- h
+
+let[@inline] race_rmw t label =
+  match t.race with None -> () | Some hk -> hk.Race_api.rmw label
 
 let config t = t.cfg
 
@@ -33,16 +44,19 @@ let over pct ~used ~cap = pct > 0 && used * 100 >= pct * cap
 
 let admit_enqueue t ~queue_len =
   if t.cfg.queue_cap > 0 && queue_len >= t.cfg.queue_cap then begin
+    race_rmw t "serve.admission.shed_queue";
     t.shed_queue <- t.shed_queue + 1;
     Error Queue_full
   end
   else begin
+    race_rmw t "serve.admission.admitted";
     t.admitted <- t.admitted + 1;
     Ok ()
   end
 
 let admit_dispatch t ~used ~cap =
   if over t.cfg.log_high_pct ~used ~cap then begin
+    race_rmw t "serve.admission.shed_log";
     t.shed_log <- t.shed_log + 1;
     Error Log_pressure
   end

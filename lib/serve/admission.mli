@@ -68,3 +68,9 @@ val shed_log : t -> int
 
 val shed : t -> int
 (** [shed_queue + shed_log]. *)
+
+val set_race : t -> Race_api.hooks option -> unit
+(** Race-detection hooks (DESIGN.md section 18): the admit/shed
+    tallies are shared single-word counters, so every admission
+    decision is one rmw edge on the counter it bumps.  [None] (the
+    default) keeps every site a single never-taken branch. *)

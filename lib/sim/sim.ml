@@ -382,8 +382,16 @@ type t = {
   mutable started : int;
   mutable suspended : int;  (* processes parked via [suspend] *)
   sched : Schedule.t;
-  mutable cur_proc : int;  (* process whose event is executing *)
+  mutable cur_proc : int;  (* process whose event is executing;
+                              -1 = outside any process (the root) *)
   mutable next_proc : int;
+  mutable nsync : int;  (* labels for anonymous sync objects *)
+  mutable race : Race_api.hooks option;
+      (* Happens-before edge hooks (DESIGN.md section 18).  The
+         simulator's synchronization vocabulary — spawn, suspend/resume
+         delivery, mutex ownership, service wake tokens — is where HB
+         edges come from; plain [yield]/[delay] deliberately fire
+         nothing. *)
 }
 
 type _ Effect.t +=
@@ -401,12 +409,22 @@ let create ?schedule () =
     started = 0;
     suspended = 0;
     sched;
-    cur_proc = 0;
+    cur_proc = -1;
     next_proc = 0;
+    nsync = 0;
+    race = None;
   }
 
 let now t = t.clock
 let schedule_of t = t.sched
+let current_proc t = t.cur_proc
+let set_race t h = t.race <- h
+let race_of t = t.race
+
+let sync_label t prefix =
+  let n = t.nsync in
+  t.nsync <- n + 1;
+  Printf.sprintf "sim.%s.%d" prefix n
 
 let schedule_for t ~proc time thunk =
   let seq = t.seq in
@@ -448,6 +466,12 @@ let run_process t body =
                         failwith "Sim.suspend: resume called twice";
                       resumed := true;
                       sim.suspended <- sim.suspended - 1;
+                      (* Resume delivery is a direct fiber-to-fiber HB
+                         edge: the resumer's history happens-before
+                         everything the parked process does next. *)
+                      (match sim.race with
+                      | Some h -> h.transfer ~src:sim.cur_proc ~dst:proc
+                      | None -> ());
                       schedule_for sim ~proc sim.clock (fun () ->
                           continue k ())))
           | _ -> None);
@@ -456,6 +480,11 @@ let run_process t body =
 let spawn_at ?name:_ t time body =
   let proc = t.next_proc in
   t.next_proc <- proc + 1;
+  (* Spawn seeds the child's clock with the parent's: everything the
+     parent did before the spawn happens-before the child's body. *)
+  (match t.race with
+  | Some h -> h.fork ~parent:t.cur_proc ~child:proc
+  | None -> ());
   schedule_for t ~proc time (fun () -> run_process t body)
 
 let spawn ?name t body = spawn_at ?name t t.clock body
@@ -487,6 +516,7 @@ let run ?until t =
             t.cur_proc <- e.Heap.proc;
             e.Heap.thunk ())
   done;
+  t.cur_proc <- -1;
   ignore (Heap.size t.events)
 
 let processes_run t = t.started
@@ -496,13 +526,28 @@ module Mutex_r = struct
 
   type t = {
     sim : sim;
+    label : string;  (* race-detector sync object *)
     mutable locked : bool;
     waiters : (unit -> unit) Queue.t;
     mutable contentions : int;
   }
 
   let create sim =
-    { sim; locked = false; waiters = Queue.create (); contentions = 0 }
+    {
+      sim;
+      label = sync_label sim "mutex";
+      locked = false;
+      waiters = Queue.create ();
+      contentions = 0;
+    }
+
+  (* HB edges: [unlock] releases the holder's clock into the mutex's
+     sync clock, [lock]/[try_lock] acquire it on success.  The
+     contended handoff additionally rides the suspend/resume transfer
+     edge, but the release/acquire pair is what orders a later
+     uncontended lock after an earlier unlocker. *)
+  let acquired m =
+    match m.sim.race with Some h -> h.acquire m.label | None -> ()
 
   let lock m =
     if not m.locked then m.locked <- true
@@ -510,17 +555,20 @@ module Mutex_r = struct
       m.contentions <- m.contentions + 1;
       suspend m.sim (fun resume -> Queue.push resume m.waiters)
       (* The unlocker hands us ownership directly: [locked] stays true. *)
-    end
+    end;
+    acquired m
 
   let try_lock m =
     if m.locked then false
     else begin
       m.locked <- true;
+      acquired m;
       true
     end
 
   let unlock m =
     if not m.locked then invalid_arg "Mutex_r.unlock: not locked";
+    (match m.sim.race with Some h -> h.release m.label | None -> ());
     match Queue.take_opt m.waiters with
     | Some resume -> resume ()  (* ownership transfers; stays locked *)
     | None -> m.locked <- false
@@ -549,12 +597,22 @@ module Service = struct
 
   type t = {
     sim : sim;
+    label : string;  (* race-detector sync object: the wake token *)
     work : unit -> bool;
     mutable parked : (unit -> unit) option;
     mutable wakes_pending : bool;
     mutable stopping : bool;
     mutable stopped : bool;
   }
+
+  (* HB edges: every [wake] releases the producer's clock into the
+     token's sync clock; the daemon acquires it when it consumes a
+     pending token and when it unparks (the parked path additionally
+     rides the resume transfer edge).  So whatever a producer
+     published before [wake] happens-before the daemon round that the
+     wake triggers — on both the parked and the token path. *)
+  let consumed s =
+    match s.sim.race with Some h -> h.acquire s.label | None -> ()
 
   let rec loop s =
     if s.work () then begin
@@ -565,10 +623,12 @@ module Service = struct
     else if s.stopping then s.stopped <- true
     else if s.wakes_pending then begin
       s.wakes_pending <- false;
+      consumed s;
       loop s
     end
     else begin
       suspend s.sim (fun resume -> s.parked <- Some resume);
+      consumed s;
       loop s
     end
 
@@ -576,6 +636,7 @@ module Service = struct
     let s =
       {
         sim;
+        label = sync_label sim "service";
         work;
         parked = None;
         wakes_pending = false;
@@ -587,6 +648,7 @@ module Service = struct
     s
 
   let wake s =
+    (match s.sim.race with Some h -> h.release s.label | None -> ());
     match s.parked with
     | Some resume ->
         s.parked <- None;

@@ -121,6 +121,23 @@ val now : t -> int
 val schedule_of : t -> Schedule.t
 (** The schedule this simulator draws its tiebreak decisions from. *)
 
+val current_proc : t -> int
+(** The process whose event is executing, or [-1] outside any process
+    (before {!run}, and between/after runs).  This is the fiber id the
+    race detector attributes accesses to. *)
+
+val set_race : t -> Race_api.hooks option -> unit
+(** Install (or remove) happens-before race-detection hooks
+    (DESIGN.md section 18).  When installed, the simulator fires
+    [fork] at {!spawn}, [transfer] when a suspended process is
+    resumed, and release/acquire edges through {!Mutex_r} ownership
+    and {!Service} wake tokens.  Plain {!yield}/{!delay} fire nothing:
+    being scheduled after someone is not synchronization.  [None]
+    (the default) keeps every hook site a single never-taken branch. *)
+
+val race_of : t -> Race_api.hooks option
+(** The installed hooks, for layers that piggyback on the sim's. *)
+
 val spawn : ?name:string -> t -> (unit -> unit) -> unit
 (** Register a process to start at the current simulated time.  The
     body runs when {!run} reaches that moment. *)

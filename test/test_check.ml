@@ -355,6 +355,320 @@ let test_fsck_clean_and_readonly () =
       ignore (Check.Pmfsck.to_json r1))
 
 (* ------------------------------------------------------------------ *)
+(* Racecheck: the happens-before race detector.
+
+   One minimal racy (or deliberately clean) program per HB-edge kind,
+   driven through the hook record the instrumented layers fire — plus
+   two real-simulator programs proving the Sim wiring (service
+   wake→unpark tokens, reentrant mutexes) produces the same edges.
+   The qcheck property at the end replays random programs through the
+   epoch-compressed detector and the textbook full-vector-clock one
+   and demands identical verdicts. *)
+
+module Rc = Check.Racecheck
+
+(* Manual fiber control: tests move [fib] to pick the acting fiber,
+   exactly what the harness's [Sim.current_proc] closure does. *)
+let mk_det ?mode () =
+  let fib = ref 0 in
+  let det = Rc.create ?mode ~fiber:(fun () -> !fib) ~now:(fun () -> 0) () in
+  (det, Rc.hooks det, fib)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_rc_unordered_writes_race () =
+  let det, h, fib = mk_det () in
+  fib := 1;
+  h.Race_api.write "x";
+  fib := 2;
+  h.Race_api.write "x";
+  match Rc.races det with
+  | [ r ] ->
+      Alcotest.(check string) "location" "x" r.Rc.loc;
+      Alcotest.(check bool) "write/write" true (r.Rc.kind = Rc.Write_write);
+      Alcotest.(check int) "prior fiber" 1 r.Rc.prior.Rc.fiber;
+      Alcotest.(check int) "current fiber" 2 r.Rc.cur.Rc.fiber;
+      Alcotest.(check bool) "prior op precedes current op" true
+        (r.Rc.prior.Rc.op < r.Rc.cur.Rc.op);
+      let s = Rc.render r in
+      Alcotest.(check bool) "render names both fibers and the label" true
+        (contains s "fiber 1" && contains s "fiber 2" && contains s "x")
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 race, got %d" (List.length rs))
+
+let test_rc_read_write_kinds () =
+  let det, h, fib = mk_det () in
+  fib := 1;
+  h.Race_api.read "r_then_w";
+  fib := 2;
+  h.Race_api.write "r_then_w";
+  fib := 1;
+  h.Race_api.write "w_then_r";
+  fib := 2;
+  h.Race_api.read "w_then_r";
+  let by_loc = List.map (fun r -> (r.Rc.loc, r.Rc.kind)) (Rc.races det) in
+  Alcotest.(check bool) "read then write classified" true
+    (List.mem ("r_then_w", Rc.Read_write) by_loc);
+  Alcotest.(check bool) "write then read classified" true
+    (List.mem ("w_then_r", Rc.Write_read) by_loc)
+
+let test_rc_tainted_loc_reported_once () =
+  let det, h, fib = mk_det () in
+  fib := 1;
+  h.Race_api.write "x";
+  fib := 2;
+  h.Race_api.write "x";
+  fib := 3;
+  h.Race_api.write "x";
+  fib := 2;
+  h.Race_api.read "x";
+  Alcotest.(check int) "first race taints the location" 1 (Rc.race_count det)
+
+let test_rc_fork_edge () =
+  let det, h, fib = mk_det () in
+  fib := 1;
+  h.Race_api.write "x";
+  h.Race_api.fork ~parent:1 ~child:2;
+  fib := 2;
+  h.Race_api.write "x";
+  Alcotest.(check int) "spawn orders parent's prior writes" 0
+    (Rc.race_count det);
+  (* the fork edge is one-directional and one-shot: the parent's own
+     *later* accesses are unordered with the child *)
+  h.Race_api.fork ~parent:1 ~child:3;
+  fib := 1;
+  h.Race_api.write "y";
+  fib := 3;
+  h.Race_api.write "y";
+  Alcotest.(check int) "parent-after-fork races the child" 1
+    (Rc.race_count det)
+
+let test_rc_transfer_edge () =
+  let det, h, fib = mk_det () in
+  fib := 1;
+  h.Race_api.write "x";
+  h.Race_api.transfer ~src:1 ~dst:2;
+  fib := 2;
+  h.Race_api.write "x";
+  Alcotest.(check int) "suspend/resume transfer orders the handoff" 0
+    (Rc.race_count det)
+
+let test_rc_lock_discipline () =
+  let det, h, fib = mk_det () in
+  fib := 1;
+  h.Race_api.acquire "m";
+  h.Race_api.write "guarded";
+  h.Race_api.release "m";
+  fib := 2;
+  h.Race_api.acquire "m";
+  h.Race_api.write "guarded";
+  h.Race_api.release "m";
+  Alcotest.(check int) "lock-ordered writes are silent" 0 (Rc.race_count det)
+
+let test_rc_atomics_never_reported () =
+  let det, h, fib = mk_det () in
+  fib := 1;
+  h.Race_api.rmw "counter";
+  fib := 2;
+  h.Race_api.rmw "counter";
+  Alcotest.(check int) "unordered rmws are intentional, not races" 0
+    (Rc.race_count det);
+  (* ...but they are edges: publishing through an rmw chain orders the
+     plain data behind it *)
+  fib := 1;
+  h.Race_api.write "data";
+  h.Race_api.rmw "counter";
+  fib := 2;
+  h.Race_api.rmw "counter";
+  h.Race_api.write "data";
+  Alcotest.(check int) "rmw chain carries the edge" 0 (Rc.race_count det)
+
+let test_rc_channel_handoff () =
+  let det, h, fib = mk_det () in
+  (* the pending_q discipline: per-item plain descriptor + channel edge *)
+  fib := 1;
+  h.Race_api.write "desc.0";
+  h.Race_api.release "q";
+  fib := 2;
+  h.Race_api.acquire "q";
+  h.Race_api.read "desc.0";
+  Alcotest.(check int) "push/pop edge orders the descriptor" 0
+    (Rc.race_count det);
+  (* the same handoff without the channel edge is the lost-wakeup
+     shape: a drainer sweeping a queue it never synchronized with *)
+  fib := 1;
+  h.Race_api.write "desc.1";
+  fib := 2;
+  h.Race_api.read "desc.1";
+  Alcotest.(check int) "edge-free handoff is a race" 1 (Rc.race_count det)
+
+let test_rc_clean_program_silent () =
+  let det, h, fib = mk_det () in
+  (* fork two workers, each guards the shared loc, parent reads after
+     both released through the lock: every access ordered *)
+  h.Race_api.fork ~parent:0 ~child:1;
+  h.Race_api.fork ~parent:0 ~child:2;
+  List.iter
+    (fun f ->
+      fib := f;
+      h.Race_api.acquire "m";
+      h.Race_api.read "acc";
+      h.Race_api.write "acc";
+      h.Race_api.release "m")
+    [ 1; 2 ];
+  fib := 0;
+  h.Race_api.acquire "m";
+  h.Race_api.read "acc";
+  Alcotest.(check int) "clean program, zero races" 0 (Rc.race_count det);
+  Alcotest.(check int) "detector consumed the whole program" 12 (Rc.ops det)
+
+(* The Sim wiring end-to-end: the service wake→unpark token is the HB
+   edge for data published before the wake — and only that data. *)
+let test_rc_sim_service_token () =
+  let sim = Sim.create () in
+  let det =
+    Rc.create
+      ~fiber:(fun () -> Sim.current_proc sim)
+      ~now:(fun () -> Sim.now sim)
+      ()
+  in
+  let h = Rc.hooks det in
+  Sim.set_race sim (Some h);
+  let v = ref 0 in
+  let processed = ref false in
+  let svc = ref None in
+  let s =
+    Sim.Service.spawn sim ~work:(fun () ->
+        if !v > 0 && not !processed then begin
+          h.Race_api.read "handoff";
+          h.Race_api.read "late";
+          processed := true;
+          true
+        end
+        else false)
+  in
+  svc := Some s;
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 10;
+      h.Race_api.write "handoff";
+      v := 1;
+      Sim.Service.wake s;
+      (* published after the wake: nothing orders this against the
+         daemon's read, and the detector says so even on a run where
+         the daemon happens to read the already-written value *)
+      h.Race_api.write "late";
+      Sim.delay sim 100;
+      Sim.Service.stop s);
+  Sim.run sim;
+  Alcotest.(check bool) "daemon ran the work" true !processed;
+  match Rc.races det with
+  | [ r ] ->
+      Alcotest.(check string) "only the post-wake publish races" "late"
+        r.Rc.loc
+  | rs ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly the 'late' race, got %d"
+           (List.length rs))
+
+let test_rc_sim_mutex_edges () =
+  let sim = Sim.create () in
+  let det =
+    Rc.create
+      ~fiber:(fun () -> Sim.current_proc sim)
+      ~now:(fun () -> Sim.now sim)
+      ()
+  in
+  let h = Rc.hooks det in
+  Sim.set_race sim (Some h);
+  let m = Sim.Mutex_r.create sim in
+  for i = 1 to 2 do
+    Sim.spawn sim (fun () ->
+        Sim.delay sim i;
+        (* outside the lock: nothing orders the two fibers here, even
+           though this run's timing never actually overlapped them *)
+        h.Race_api.write "unguarded";
+        Sim.Mutex_r.lock m;
+        h.Race_api.write "guarded";
+        Sim.delay sim 10;
+        Sim.Mutex_r.unlock m)
+  done;
+  Sim.run sim;
+  let locs = List.map (fun r -> r.Rc.loc) (Rc.races det) in
+  Alcotest.(check (list string))
+    "mutex orders 'guarded'; 'unguarded' would need the accident of \
+     this exact schedule — flagged anyway"
+    [ "unguarded" ] locs
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence and partial-order properties *)
+
+(* Decode an int list into a program over 3 fibers, 2 plain locations
+   and 2 sync objects, with fork/transfer mixed in. *)
+let run_program mode ops =
+  let fib = ref 0 in
+  let det = Rc.create ~mode ~fiber:(fun () -> !fib) ~now:(fun () -> 0) () in
+  let h = Rc.hooks det in
+  List.iter
+    (fun code ->
+      let code = abs code in
+      let f = code mod 3 in
+      fib := f;
+      let loc = "l" ^ string_of_int (code / 3 mod 2) in
+      let sync = "s" ^ string_of_int (code / 6 mod 2) in
+      match code / 12 mod 7 with
+      | 0 -> h.Race_api.read loc
+      | 1 -> h.Race_api.write loc
+      | 2 -> h.Race_api.acquire sync
+      | 3 -> h.Race_api.release sync
+      | 4 -> h.Race_api.rmw sync
+      | 5 -> h.Race_api.fork ~parent:f ~child:((f + 1) mod 3)
+      | _ -> h.Race_api.transfer ~src:f ~dst:((f + 2) mod 3))
+    ops;
+  det
+
+(* FastTrack's epoch compression must be observationally equivalent to
+   the textbook full-VC detector: same locations tainted, by the same
+   kind of access pair, at the same op — only the retained [prior]
+   witness may differ. *)
+let prop_fasttrack_equals_naive =
+  QCheck.Test.make ~name:"fasttrack == naive full-VC detector" ~count:500
+    QCheck.(list_of_size Gen.(0 -- 60) (int_bound 2000))
+    (fun ops ->
+      let verdict mode =
+        List.map
+          (fun r -> (r.Rc.loc, r.Rc.kind, r.Rc.cur.Rc.op, r.Rc.cur.Rc.fiber))
+          (Rc.races (run_program mode ops))
+        |> List.sort compare
+      in
+      verdict Rc.Fasttrack = verdict Rc.Naive_vc)
+
+let vc_of_list l =
+  List.fold_left
+    (fun c (f, v) -> Rc.Vc.set c (abs f mod 5) (abs v mod 8))
+    Rc.Vc.empty l
+
+let prop_vc_partial_order =
+  QCheck.Test.make ~name:"vector-clock join/leq partial-order laws"
+    ~count:500
+    QCheck.(
+      triple
+        (small_list (pair small_int small_int))
+        (small_list (pair small_int small_int))
+        (small_list (pair small_int small_int)))
+    (fun (la, lb, lc) ->
+      let a = vc_of_list la and b = vc_of_list lb and c = vc_of_list lc in
+      let open Rc.Vc in
+      equal (join a b) (join b a)
+      && equal (join a (join b c)) (join (join a b) c)
+      && equal (join a a) a
+      && leq a (join a b)
+      && leq a a
+      && ((not (leq a b)) || not (leq b a) || equal a b)
+      && ((not (leq a b)) || not (leq b c) || leq a c)
+      && leq (tick a 1) (join (tick a 1) b)
+      && not (leq (tick a 1) a))
 
 let () =
   Alcotest.run "check"
@@ -391,5 +705,29 @@ let () =
             test_fsck_phashtable_bucket_count;
           Alcotest.test_case "clean image, zero mutations" `Quick
             test_fsck_clean_and_readonly;
+        ] );
+      ( "racecheck",
+        [
+          Alcotest.test_case "unordered writes race" `Quick
+            test_rc_unordered_writes_race;
+          Alcotest.test_case "read/write kinds classified" `Quick
+            test_rc_read_write_kinds;
+          Alcotest.test_case "tainted location reported once" `Quick
+            test_rc_tainted_loc_reported_once;
+          Alcotest.test_case "fork edge" `Quick test_rc_fork_edge;
+          Alcotest.test_case "suspend/resume transfer edge" `Quick
+            test_rc_transfer_edge;
+          Alcotest.test_case "lock discipline" `Quick test_rc_lock_discipline;
+          Alcotest.test_case "atomics: edges, never reports" `Quick
+            test_rc_atomics_never_reported;
+          Alcotest.test_case "channel handoff discipline" `Quick
+            test_rc_channel_handoff;
+          Alcotest.test_case "clean program is silent" `Quick
+            test_rc_clean_program_silent;
+          Alcotest.test_case "sim service wake token edge" `Quick
+            test_rc_sim_service_token;
+          Alcotest.test_case "sim mutex edges" `Quick test_rc_sim_mutex_edges;
+          QCheck_alcotest.to_alcotest prop_fasttrack_equals_naive;
+          QCheck_alcotest.to_alcotest prop_vc_partial_order;
         ] );
     ]

@@ -210,6 +210,7 @@ let test_fuzz_pipelined_commit () =
           pipeline = true;
           cm_adaptive = true;
           pmcheck = true;
+          race = true;
         }
       in
       fuzz "pipeline"
@@ -245,6 +246,7 @@ let test_fuzz_admission () =
           cm_adaptive = true;
           admission = true;
           pmcheck = true;
+          race = true;
         }
       in
       fuzz "admission"
@@ -258,6 +260,72 @@ let test_fuzz_admission () =
                [ 0; 1; 2 ])
            [ Sim.Schedule.Fifo; Sim.Schedule.Seeded_shuffle;
              Sim.Schedule.Priority ]))
+
+(* ------------------------------------------------------------------ *)
+(* Race detector wiring: armed runs stay silent, and the trace header
+   re-arms the detector on replay (the --pmcheck meta pattern). *)
+
+let test_race_armed_run_is_silent () =
+  with_tmpdir (fun dir ->
+      let off = { (H.default_cfg ~dir) with H.seed = 7 } in
+      let o_off = H.run off in
+      Alcotest.(check int) "detector off: no ops counted" 0 o_off.H.race_ops;
+      let on = { off with H.race = true } in
+      let o_on = H.run on in
+      check_serializable "race-armed default" o_on;
+      Alcotest.(check bool) "armed detector saw annotated accesses" true
+        (o_on.H.race_ops > 0);
+      (* the full coordination surface: pipelined drainer + wait-die +
+         group commit + admission under adversarial zero-lat ties *)
+      let full =
+        {
+          on with
+          H.zero_lat = true;
+          nslots = 8;
+          lease = 3;
+          stripes = 4;
+          group_commit = true;
+          pipeline = true;
+          cm_adaptive = true;
+          admission = true;
+        }
+      in
+      let o_full = H.run full in
+      check_serializable "race-armed full stack" o_full;
+      Alcotest.(check bool) "full stack detector live" true
+        (o_full.H.race_ops > 0))
+
+let test_race_meta_roundtrip () =
+  with_tmpdir (fun dir ->
+      let cfg =
+        { (contended ~dir Sim.Schedule.Seeded_shuffle) with H.race = true }
+      in
+      let o = H.run cfg in
+      let path = Filename.concat dir "race-armed.trace" in
+      H.save_schedule o cfg path;
+      let sched =
+        match Sim.Schedule.load path with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e
+      in
+      let cfg' = H.cfg_of_schedule ~dir sched in
+      Alcotest.(check bool) "trace header re-arms the detector" true
+        cfg'.H.race;
+      let r = H.run ~schedule:sched cfg' in
+      Alcotest.(check int) "replay re-ran armed" o.H.race_ops r.H.race_ops;
+      Alcotest.(check int) "bit-exact: no leftover" 0 r.H.replay_leftover;
+      Alcotest.(check int) "bit-exact: no invented" 0 r.H.replay_extra;
+      check_serializable "armed replay" r;
+      (* a header without the key (older trace) leaves the detector off *)
+      let plain = contended ~dir Sim.Schedule.Seeded_shuffle in
+      let o2 = H.run plain in
+      let path2 = Filename.concat dir "plain.trace" in
+      H.save_schedule o2 plain path2;
+      match Sim.Schedule.load path2 with
+      | Error e -> Alcotest.fail e
+      | Ok s2 ->
+          Alcotest.(check bool) "unarmed trace stays unarmed" false
+            (H.cfg_of_schedule ~dir s2).H.race)
 
 let test_fuzz_undo_mode () =
   with_tmpdir (fun dir ->
@@ -285,6 +353,13 @@ let () =
             test_replay_roundtrip_with_aborts;
           Alcotest.test_case "regression traces stay serializable" `Quick
             test_regression_traces;
+          Alcotest.test_case "race meta re-arms on replay" `Quick
+            test_race_meta_roundtrip;
+        ] );
+      ( "race",
+        [
+          Alcotest.test_case "armed runs stay silent" `Quick
+            test_race_armed_run_is_silent;
         ] );
       ( "fuzz",
         [

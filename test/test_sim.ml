@@ -304,6 +304,50 @@ let test_draw_bound_mismatch_falls_back () =
   Alcotest.(check bool) "abandoned draws reported as leftover" true
     (Sim.Schedule.replay_leftover loaded > 0)
 
+(* The service wake-token protocol cannot lose a wakeup.  Audit of the
+   three windows: (1) a wake during the daemon's work phase finds it
+   unparked and leaves a token ([wakes_pending]) the loop consumes
+   before parking; (2) the stretch between the last [work () = false]
+   check and the park is yield-free under the DES, so no wake can land
+   "between" them; (3) [stop] wakes the daemon and the loop keeps
+   running work units until dry before honoring [stopping].  This
+   deterministic two-fiber program pins all three, including a wake at
+   the same simulated instant as the park decision. *)
+let test_service_no_lost_wakeup () =
+  let sim = Sim.create () in
+  let pending = ref 0 in
+  let processed = ref 0 in
+  let svc =
+    Sim.Service.spawn sim ~work:(fun () ->
+        if !pending > 0 then begin
+          decr pending;
+          incr processed;
+          true
+        end
+        else false)
+  in
+  Sim.spawn sim (fun () ->
+      (* t=0: the daemon, spawned first, has already run work() = false
+         and parked within this same instant — a wake racing the park
+         decision at t=0 must not be lost *)
+      pending := 1;
+      Sim.Service.wake svc;
+      Sim.delay sim 50;
+      (* parked again; first wake unparks it, the second lands before
+         the daemon runs and must persist as a token *)
+      pending := 2;
+      Sim.Service.wake svc;
+      Sim.Service.wake svc;
+      Sim.delay sim 50;
+      (* leftover work enqueued with no wake at all: stop must drain
+         it before the daemon exits *)
+      incr pending;
+      Sim.Service.stop svc);
+  Sim.run sim;
+  Alcotest.(check int) "no queued item stranded" 0 !pending;
+  Alcotest.(check int) "every item processed exactly once" 4 !processed;
+  Alcotest.(check bool) "daemon exited" true (Sim.Service.stopped svc)
+
 let prop_delays_accumulate =
   QCheck.Test.make ~name:"sum of delays equals final clock" ~count:100
     QCheck.(list (int_bound 1000))
@@ -337,6 +381,11 @@ let () =
         [
           Alcotest.test_case "group commit pattern" `Quick
             test_cond_group_commit_pattern;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "no lost wakeup" `Quick
+            test_service_no_lost_wakeup;
         ] );
       ( "schedule",
         [
